@@ -1,0 +1,280 @@
+(* Command-line driver: run NAB on generated networks, compute capacity
+   bounds, render the pipelining schedule, export graphs. *)
+
+open Cmdliner
+open Nab_graph
+open Nab_core
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+(* ---- shared graph-family argument ---- *)
+
+let make_graph family n cap seed =
+  match family with
+  | _ when String.length family > 1 && family.[0] = '@' -> (
+      (* "@path" loads a Graphfile network. *)
+      let path = String.sub family 1 (String.length family - 1) in
+      match Graphfile.parse_file path with
+      | Ok g -> g
+      | Error e -> invalid_arg (Printf.sprintf "cannot load %s: %s" path e))
+  | "complete" -> Gen.complete ~n ~cap
+  | "ring" -> Gen.ring ~n ~cap
+  | "chords" -> Gen.ring_with_chords ~n ~cap ~chord_cap:cap
+  | "random" -> Gen.random_bb_feasible ~n ~f:1 ~p:0.7 ~min_cap:1 ~max_cap:cap ~seed
+  | "dumbbell" -> Gen.dumbbell ~clique:(max 3 (n / 2)) ~clique_cap:cap ~bridge_cap:1
+  | "hypercube" -> Gen.hypercube ~dims:(max 2 (int_of_float (Float.round (Float.log2 (float_of_int (max 4 n)))))) ~cap
+  | "torus" -> Gen.torus ~rows:3 ~cols:(max 3 (n / 3)) ~cap
+  | "twin" -> Gen.twin_cliques ~half:(max 2 ((n - 1) / 2)) ~spoke_cap:(4 * cap) ~intra_cap:(4 * cap) ~cross_cap:1
+  | "star" -> Gen.star_mesh ~n ~spoke_cap:cap ~mesh_cap:1
+  | "fig1" -> Gen.figure1a
+  | "fig2" -> Gen.figure2
+  | other -> invalid_arg (Printf.sprintf "unknown graph family %S" other)
+
+let family_arg =
+  let doc =
+    "Graph family: complete, ring, chords, random, dumbbell, twin, star, \
+     hypercube, torus, fig1, fig2 - or @FILE to load a Graphfile network."
+  in
+  Arg.(value & opt string "complete" & info [ "family"; "g" ] ~docv:"FAMILY" ~doc)
+
+let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+let cap_arg = Arg.(value & opt int 2 & info [ "cap" ] ~docv:"CAP" ~doc:"Link capacity.")
+let f_arg = Arg.(value & opt int 1 & info [ "faults"; "f" ] ~docv:"F" ~doc:"Fault budget.")
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let adversary_arg =
+    let names = String.concat ", " (List.map fst Adversary.all) in
+    Arg.(
+      value & opt string "none"
+      & info [ "adversary"; "a" ] ~docv:"ADV" ~doc:("Adversary strategy: " ^ names ^ "."))
+  in
+  let q_arg = Arg.(value & opt int 8 & info [ "q" ] ~docv:"Q" ~doc:"Instances to run.") in
+  let l_arg =
+    Arg.(value & opt int 1024 & info [ "l" ] ~docv:"L" ~doc:"Input bits per instance.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the per-phase breakdown.")
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("eig", `Eig); ("phase-king", `Phase_king) ]) `Eig
+      & info [ "flag-backend" ] ~docv:"BB"
+          ~doc:"Broadcast_Default backend for the step-2.2 flags.")
+  in
+  let run family n cap f seed adversary q l verbose backend =
+    setup_logs ();
+    let g = make_graph family n cap seed in
+    let adv =
+      match List.assoc_opt adversary Adversary.all with
+      | Some a -> a
+      | None -> invalid_arg (Printf.sprintf "unknown adversary %S" adversary)
+    in
+    let config = { Nab.default_config with f; l_bits = l; seed; flag_backend = backend } in
+    let rng = Random.State.make [| seed; 0x1ca11 |] in
+    let tbl = Hashtbl.create 16 in
+    let inputs k =
+      match Hashtbl.find_opt tbl k with
+      | Some v -> v
+      | None ->
+          let v = Bitvec.random l rng in
+          Hashtbl.add tbl k v;
+          v
+    in
+    let report = Nab.run ~g ~config ~adversary:adv ~inputs ~q in
+    Printf.printf "network: %s (n=%d), f=%d, L=%d, Q=%d, adversary=%s, faulty=[%s]\n"
+      family (Digraph.num_vertices g) f l q adversary
+      (String.concat "," (List.map string_of_int (Vset.elements report.faulty)));
+    Printf.printf "%-4s %-7s %-5s %-5s %-9s %-9s %-4s %s\n" "k" "gamma_k" "rho_k" "flag"
+      "wall" "pipelined" "DC" "new disputes";
+    List.iter
+      (fun (i : Nab.instance_report) ->
+        Printf.printf "%-4d %-7d %-5d %-5b %-9.2f %-9.2f %-4b %s\n" i.k i.gamma_k
+          i.rho_k i.mismatch i.wall_time i.pipelined_time i.dc_run
+          (String.concat ","
+             (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) i.new_disputes)))
+      report.instances;
+    Printf.printf
+      "agreement=%b validity=%b dispute-control runs=%d (budget f(f+1)=%d)\n"
+      (Nab.fault_free_agree report)
+      (Nab.valid_outputs report ~inputs)
+      report.dc_count
+      (f * (f + 1));
+    Printf.printf "throughput: wall %.3f bits/unit, pipelined %.3f bits/unit\n"
+      report.throughput_wall report.throughput_pipelined;
+    if verbose then
+      List.iter
+        (fun (i : Nab.instance_report) ->
+          Printf.printf "\n-- instance %d --\n" i.Nab.k;
+          Format.printf "%a@." Report.pp_phase_breakdown i)
+        report.instances
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg $ q_arg
+      $ l_arg $ verbose_arg $ backend_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run Q instances of NAB under an adversary.") term
+
+(* ---- bounds ---- *)
+
+let bounds_cmd =
+  let witness_arg =
+    Arg.(value & flag & info [ "witness" ] ~doc:"Exhibit the Theorem-2 cut witnesses.")
+  in
+  let bounds family n cap f seed witness =
+    setup_logs ();
+    let g = make_graph family n cap seed in
+    let s = Params.stars g ~source:1 ~f in
+    Printf.printf "network: %s (n=%d, %d edges, f=%d)\n" family (Digraph.num_vertices g)
+      (Digraph.num_edges g) f;
+    Printf.printf "gamma* = %d, rho* = %d\n" s.gamma_star s.rho_star;
+    Printf.printf "throughput lower bound (eq. 6): %.3f\n" s.throughput_lb;
+    Printf.printf "capacity upper bound (Thm 2):   %.3f\n" s.capacity_ub;
+    Printf.printf "ratio: %.3f (Thm 3 guarantees >= %s)\n" s.ratio
+      (if s.half_capacity_condition then "1/2" else "1/3");
+    if witness then begin
+      print_newline ();
+      Capacity.pp_report Format.std_formatter g ~source:1 ~f;
+      match Capacity.verify g ~source:1 ~f with
+      | Ok () -> Printf.printf "witnesses verified against the bounds\n"
+      | Error e -> Printf.printf "WITNESS MISMATCH: %s\n" e
+    end
+  in
+  let term =
+    Term.(const bounds $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ witness_arg)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Compute gamma*, rho* and the Theorem 2/3 bounds.")
+    term
+
+(* ---- pipelined execution ---- *)
+
+let pipelined_cmd =
+  let q_arg = Arg.(value & opt int 8 & info [ "q" ] ~docv:"Q" ~doc:"Instances.") in
+  let l_arg =
+    Arg.(value & opt int 4096 & info [ "l" ] ~docv:"L" ~doc:"Input bits per instance.")
+  in
+  let run family n cap f seed q l =
+    setup_logs ();
+    let g = make_graph family n cap seed in
+    let config = { Nab.default_config with f; l_bits = l; seed } in
+    let rng = Random.State.make [| seed; 0x9199 |] in
+    let tbl = Hashtbl.create 16 in
+    let inputs k =
+      match Hashtbl.find_opt tbl k with
+      | Some v -> v
+      | None ->
+          let v = Bitvec.random l rng in
+          Hashtbl.add tbl k v;
+          v
+    in
+    let r = Pipelined.run ~g ~config ~inputs ~q in
+    Printf.printf
+      "pipelined %d instances: gamma=%d rho=%d hops=%d\n\
+       completion %.1f (model %.1f), per-instance %.1f (round core %.1f)\n\
+       throughput %.3f bits/unit, delivered everywhere: %b\n"
+      q r.Pipelined.gamma r.Pipelined.rho r.Pipelined.hops r.Pipelined.completion
+      r.Pipelined.model_completion r.Pipelined.per_instance r.Pipelined.round_core
+      r.Pipelined.throughput r.Pipelined.all_delivered
+  in
+  let term =
+    Term.(const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ q_arg $ l_arg)
+  in
+  Cmd.v
+    (Cmd.info "pipelined" ~doc:"Run Q fault-free instances overlapped per Figure 3.")
+    term
+
+(* ---- pipeline ---- *)
+
+let pipeline_cmd =
+  let q_arg = Arg.(value & opt int 5 & info [ "q" ] ~doc:"Instances.") in
+  let hops_arg = Arg.(value & opt int 3 & info [ "hops" ] ~doc:"Phase-1 hop count.") in
+  let render q hops = print_string (Pipeline.render ~q ~hops) in
+  let term = Term.(const render $ q_arg $ hops_arg) in
+  Cmd.v (Cmd.info "pipeline" ~doc:"Render the Figure-3 pipelining schedule.") term
+
+(* ---- consensus ---- *)
+
+let consensus_cmd =
+  let l_arg =
+    Arg.(value & opt int 64 & info [ "l" ] ~docv:"L" ~doc:"Input bits per proposal.")
+  in
+  let adversary_arg =
+    let names = String.concat ", " (List.map fst Adversary.all) in
+    Arg.(
+      value & opt string "ec-liar"
+      & info [ "adversary"; "a" ] ~docv:"ADV" ~doc:("Adversary strategy: " ^ names ^ "."))
+  in
+  let run family n cap f seed adversary l =
+    setup_logs ();
+    let g = make_graph family n cap seed in
+    let adv =
+      match List.assoc_opt adversary Adversary.all with
+      | Some a -> a
+      | None -> invalid_arg (Printf.sprintf "unknown adversary %S" adversary)
+    in
+    let config = { Nab.default_config with f; l_bits = l; seed } in
+    (* A realistic vote: honest proposers agree on the payload, the last
+       node proposes something else. *)
+    let rng = Random.State.make [| seed; 0xc0 |] in
+    let common = Bitvec.random l rng in
+    let outlier = Bitvec.random l rng in
+    let last = List.fold_left max 0 (Digraph.vertices g) in
+    let inputs v = if v = last then outlier else common in
+    let r = Consensus.run ~g ~config ~adversary:adv ~inputs in
+    let faulty = adv.Adversary.pick_faulty ~g ~source:1 ~f in
+    Printf.printf "consensus on %s (n=%d, f=%d) under %s; faulty=[%s]\n" family
+      (Digraph.num_vertices g) f adversary
+      (String.concat "," (List.map string_of_int (Vset.elements faulty)));
+    List.iter
+      (fun (v, d) ->
+        Printf.printf "node %d decides %s%s\n" v (Bitvec.to_hex d)
+          (if Vset.mem v faulty then "  (faulty)" else ""))
+      r.Consensus.decisions;
+    Printf.printf "fault-free agreement: %b\n" (Consensus.all_agree r ~faulty)
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg $ l_arg)
+  in
+  Cmd.v
+    (Cmd.info "consensus" ~doc:"Multi-valued consensus from n parallel NAB broadcasts.")
+    term
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let stats family n cap seed f =
+    setup_logs ();
+    let g = make_graph family n cap seed in
+    Format.printf "%a@." Metrics.pp (Metrics.compute g);
+    if f > 0 && Connectivity.meets_requirement g ~f then begin
+      let s = Params.stars g ~source:1 ~f in
+      Format.printf "at f = %d: gamma* = %d, rho* = %d, T_NAB >= %.2f, C_BB <= %.2f@." f
+        s.Params.gamma_star s.Params.rho_star s.Params.throughput_lb s.Params.capacity_ub
+    end
+  in
+  let term = Term.(const stats $ family_arg $ n_arg $ cap_arg $ seed_arg $ f_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Describe a network and its fault budget.") term
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let dot family n cap seed =
+    let g = make_graph family n cap seed in
+    print_string (Dot.of_digraph ~name:family g)
+  in
+  let term = Term.(const dot $ family_arg $ n_arg $ cap_arg $ seed_arg) in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a network family.") term
+
+let () =
+  let doc = "Network-Aware Byzantine broadcast (Liang & Vaidya, PODC 2012)" in
+  let info = Cmd.info "nab" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ run_cmd; bounds_cmd; consensus_cmd; pipelined_cmd; pipeline_cmd; stats_cmd; dot_cmd ]))

@@ -1,0 +1,32 @@
+(* Development smoke test: run NAB on a small complete graph under every
+   adversary strategy and report agreement/validity plus timing. *)
+
+open Nab_graph
+open Nab_core
+
+let () =
+  let g = Gen.complete ~n:4 ~cap:2 in
+  let config = { Nab.default_config with l_bits = 256; m = 8; f = 1 } in
+  let rng = Random.State.make [| 99 |] in
+  let input_tbl = Hashtbl.create 16 in
+  let inputs k =
+    match Hashtbl.find_opt input_tbl k with
+    | Some v -> v
+    | None ->
+        let v = Bitvec.random config.l_bits rng in
+        Hashtbl.add input_tbl k v;
+        v
+  in
+  List.iter
+    (fun (name, adv) ->
+      let report = Nab.run ~g ~config ~adversary:adv ~inputs ~q:6 in
+      Printf.printf
+        "%-18s agree=%b valid=%b dc=%d disputes=%d thpt=%.3f pip=%.3f faulty=[%s]\n%!"
+        name
+        (Nab.fault_free_agree report)
+        (Nab.valid_outputs report ~inputs)
+        report.dc_count
+        (List.length report.disputes)
+        report.throughput_wall report.throughput_pipelined
+        (String.concat "," (List.map string_of_int (Vset.elements report.faulty))))
+    Adversary.all

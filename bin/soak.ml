@@ -1,0 +1,102 @@
+(* Soak harness: a randomized campaign over networks x adversaries x fault
+   budgets, asserting the protocol invariants on every run and printing a
+   pass/fail matrix. Unlike the unit tests (fixed seeds, small counts), this
+   is meant to be run for as long as you like:
+
+     dune exec bin/soak.exe -- [trials] [base-seed]
+
+   exits non-zero on the first invariant violation. *)
+
+open Nab_graph
+open Nab_core
+
+type outcome = { runs : int; dc_total : int; disputes_total : int }
+
+let () =
+  let trials =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60
+  in
+  let base_seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
+  in
+  let rng = Random.State.make [| base_seed; 0x50a6 |] in
+  let tally : (string, outcome) Hashtbl.t = Hashtbl.create 16 in
+  let record name dc disputes =
+    let o =
+      try Hashtbl.find tally name
+      with Not_found -> { runs = 0; dc_total = 0; disputes_total = 0 }
+    in
+    Hashtbl.replace tally name
+      {
+        runs = o.runs + 1;
+        dc_total = o.dc_total + dc;
+        disputes_total = o.disputes_total + disputes;
+      }
+  in
+  let failures = ref 0 in
+  Printf.printf "soak: %d trials (base seed %d)\n%!" trials base_seed;
+  for trial = 1 to trials do
+    (* Sample a configuration. *)
+    let f = if Random.State.int rng 4 = 0 then 2 else 1 in
+    let n = (3 * f) + 1 + Random.State.int rng 3 in
+    let gseed = Random.State.int rng 100_000 in
+    let g =
+      if Random.State.bool rng then Gen.complete ~n ~cap:(1 + Random.State.int rng 3)
+      else
+        Gen.random_bb_feasible ~n ~f ~p:0.85 ~min_cap:1 ~max_cap:4 ~seed:gseed
+    in
+    let name, adversary =
+      if Random.State.int rng 3 = 0 then
+        let s = Random.State.int rng 100_000 in
+        (Printf.sprintf "chaos"), Adversary.chaos ~seed:s
+      else List.nth Adversary.all (Random.State.int rng (List.length Adversary.all))
+    in
+    let l = 64 * (1 + Random.State.int rng 4) in
+    let q = 2 + Random.State.int rng 4 in
+    let config =
+      { Nab.default_config with f; l_bits = l; m = 8; seed = Random.State.int rng 9999 }
+    in
+    let irng = Random.State.make [| gseed; trial |] in
+    let cache = Hashtbl.create 8 in
+    let inputs k =
+      match Hashtbl.find_opt cache k with
+      | Some v -> v
+      | None ->
+          let v = Bitvec.random l irng in
+          Hashtbl.add cache k v;
+          v
+    in
+    (try
+       let report = Nab.run ~g ~config ~adversary ~inputs ~q in
+       let ok =
+         Nab.fault_free_agree report
+         && Nab.valid_outputs report ~inputs
+         && report.Nab.dc_count <= f * (f + 1)
+         && List.for_all
+              (fun v ->
+                Vset.mem v report.Nab.faulty
+                || Digraph.mem_vertex report.Nab.final_graph v)
+              (Digraph.vertices g)
+       in
+       if not ok then begin
+         incr failures;
+         Printf.printf "FAIL trial %d: n=%d f=%d adv=%s gseed=%d L=%d q=%d\n%!" trial n
+           f name gseed l q
+       end
+       else record name report.Nab.dc_count (List.length report.Nab.disputes)
+     with e ->
+       incr failures;
+       Printf.printf "ERROR trial %d (n=%d f=%d adv=%s gseed=%d): %s\n%!" trial n f name
+         gseed (Printexc.to_string e))
+  done;
+  Printf.printf "\n%-20s %6s %6s %9s\n" "adversary" "runs" "DCs" "disputes";
+  print_endline (String.make 44 '-');
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort compare
+  |> List.iter (fun (name, o) ->
+         Printf.printf "%-20s %6d %6d %9d\n" name o.runs o.dc_total o.disputes_total);
+  if !failures = 0 then Printf.printf "\nall %d trials upheld every invariant\n" trials
+  else begin
+    Printf.printf "\n%d FAILURES\n" !failures;
+    exit 1
+  end

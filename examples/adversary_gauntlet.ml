@@ -1,0 +1,56 @@
+(* The adversary gauntlet: run the same broadcast workload against every
+   built-in Byzantine strategy and show that agreement and validity hold in
+   all of them, that throughput degradation is bounded, and that every
+   attacker that actually deviates is eventually identified and excluded.
+
+     dune exec examples/adversary_gauntlet.exe
+*)
+
+open Nab_graph
+open Nab_core
+
+let () =
+  let network = Gen.ring_with_chords ~n:7 ~cap:2 ~chord_cap:2 in
+  let config = { Nab.default_config with f = 1; l_bits = 2048; m = 16 } in
+  let q = 8 in
+  let rng = Random.State.make [| 2024 |] in
+  let cache = Hashtbl.create 16 in
+  let inputs k =
+    match Hashtbl.find_opt cache k with
+    | Some v -> v
+    | None ->
+        let v = Bitvec.random config.Nab.l_bits rng in
+        Hashtbl.add cache k v;
+        v
+  in
+  let baseline =
+    Nab.run ~g:network ~config ~adversary:Adversary.none ~inputs ~q
+  in
+  Printf.printf "gauntlet: 7-node chordal ring, f=1, L=%d, Q=%d\n" config.Nab.l_bits q;
+  Printf.printf "fault-free throughput: %.2f bits/time-unit (pipelined)\n\n"
+    baseline.Nab.throughput_pipelined;
+  Printf.printf "%-18s %-6s %-6s %-3s %-9s %-9s %-9s %s\n" "adversary" "agree" "valid"
+    "DC" "disputes" "thpt" "vs-clean" "excluded";
+  Printf.printf "%s\n" (String.make 84 '-');
+  List.iter
+    (fun (name, adv) ->
+      let r = Nab.run ~g:network ~config ~adversary:adv ~inputs ~q in
+      let excluded =
+        Vset.elements
+          (Vset.diff (Digraph.vertex_set network)
+             (Digraph.vertex_set r.Nab.final_graph))
+      in
+      Printf.printf "%-18s %-6b %-6b %-3d %-9d %-9.2f %8.0f%% [%s]\n" name
+        (Nab.fault_free_agree r)
+        (Nab.valid_outputs r ~inputs)
+        r.Nab.dc_count
+        (List.length r.Nab.disputes)
+        r.Nab.throughput_pipelined
+        (100.0 *. r.Nab.throughput_pipelined /. baseline.Nab.throughput_pipelined)
+        (String.concat "," (List.map string_of_int excluded)))
+    Adversary.all;
+  Printf.printf
+    "\nEvery strategy preserves agreement and validity; attackers that deviate\n\
+     trigger at most f(f+1) = %d dispute-control executions before exclusion,\n\
+     after which throughput returns to (or above) the fault-free rate.\n"
+    (config.Nab.f * (config.Nab.f + 1))

@@ -1,0 +1,48 @@
+(* Quickstart: one Byzantine broadcast of a 1 KiB message on a 4-node
+   network with one Byzantine node, using the public NAB API end to end.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Nab_graph
+open Nab_core
+
+let () =
+  (* 1. A network: complete graph on 4 nodes, every link 2 bits/time-unit.
+        Node 1 is the source; the fault budget is f = 1 (n >= 3f+1). *)
+  let network = Gen.complete ~n:4 ~cap:2 in
+  let config = { Nab.default_config with f = 1; l_bits = 8192; m = 16 } in
+
+  (* 2. What does the theory promise on this network? *)
+  let s = Params.stars network ~source:config.Nab.source ~f:config.Nab.f in
+  Printf.printf "network: K4 with capacity 2 on every link\n";
+  Printf.printf "gamma* = %d (worst-case Phase-1 rate), rho* = %d (equality-check rate)\n"
+    s.Params.gamma_star s.Params.rho_star;
+  Printf.printf "guaranteed throughput (eq. 6): %.2f bits/time-unit\n" s.Params.throughput_lb;
+  Printf.printf "capacity upper bound (Thm 2):  %.2f bits/time-unit\n\n" s.Params.capacity_ub;
+
+  (* 3. Broadcast three messages while node 4 lies during the equality
+        check (the built-in "ec-liar" strategy). *)
+  let message k =
+    Bitvec.pad_to
+      (Bitvec.of_string (Printf.sprintf "block %d: transfer 100 coins from A to B" k))
+      config.Nab.l_bits
+  in
+  let report =
+    Nab.run ~g:network ~config ~adversary:Adversary.ec_liar ~inputs:message ~q:3
+  in
+
+  (* 4. Inspect the outcome. *)
+  List.iter
+    (fun (inst : Nab.instance_report) ->
+      Printf.printf "instance %d: gamma_k=%d rho_k=%d mismatch=%b dispute-control=%b\n"
+        inst.Nab.k inst.Nab.gamma_k inst.Nab.rho_k inst.Nab.mismatch inst.Nab.dc_run)
+    report.Nab.instances;
+  Printf.printf "\nfault-free nodes agreed on every instance: %b\n"
+    (Nab.fault_free_agree report);
+  Printf.printf "outputs equal the source's inputs:         %b\n"
+    (Nab.valid_outputs report ~inputs:message);
+  Printf.printf "Byzantine node identified and excluded:    %b (faulty = node 4)\n"
+    (not (Digraph.mem_vertex report.Nab.final_graph 4));
+  Printf.printf "measured throughput: %.2f bits/time-unit (wall), %.2f (pipelined)\n"
+    report.Nab.throughput_wall report.Nab.throughput_pipelined

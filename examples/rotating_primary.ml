@@ -1,0 +1,60 @@
+(* Rotating primary: a BFT broadcast service where leadership moves
+   round-robin between replicas (as replicated state machines do on
+   suspected-primary timeouts). Each epoch is a NAB run with a different
+   source node; the paper's bounds are per-source, so the achievable rate
+   changes with who leads — and the Byzantine replica attacks whichever
+   epoch it can.
+
+     dune exec examples/rotating_primary.exe
+*)
+
+open Nab_graph
+open Nab_core
+
+let () =
+  (* An asymmetric network: node 1 has fat uplinks, the rest form a thinner
+     mesh, so leadership placement matters. *)
+  let network = Gen.star_mesh ~n:5 ~spoke_cap:6 ~mesh_cap:2 in
+  let l = 1024 in
+  let epochs = [ 1; 2; 3; 4; 5 ] in
+  Printf.printf "rotating-primary broadcast service on a 5-node star-mesh\n";
+  Printf.printf "(spokes capacity 6 from node 1, mesh capacity 2), f = 1\n\n";
+  Printf.printf "%-7s %-8s %-7s %-11s %-10s %-6s %-6s %-4s %s\n" "epoch" "primary"
+    "gamma*" "T_NAB(lb)" "measured" "agree" "valid" "DC" "notes";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iteri
+    (fun i primary ->
+      let config = { Nab.default_config with f = 1; source = primary; l_bits = l } in
+      let s = Params.stars network ~source:primary ~f:1 in
+      let rng = Random.State.make [| 50 + i |] in
+      let tbl = Hashtbl.create 8 in
+      let inputs k =
+        match Hashtbl.find_opt tbl k with
+        | Some v -> v
+        | None ->
+            let v = Bitvec.random l rng in
+            Hashtbl.add tbl k v;
+            v
+      in
+      (* The corrupted replica is always node 5; when it is primary itself it
+         equivocates, otherwise it lies in the equality check. *)
+      let adversary =
+        if primary = 5 then
+          { Adversary.source_equivocate with pick_faulty = (fun ~g:_ ~source ~f:_ -> Vset.singleton source) }
+        else { Adversary.ec_liar with pick_faulty = (fun ~g:_ ~source:_ ~f:_ -> Vset.singleton 5) }
+      in
+      let r = Nab.run ~g:network ~config ~adversary ~inputs ~q:4 in
+      Printf.printf "%-7d %-8d %-7d %-11.2f %-10.2f %-6b %-6b %-4d %s\n" (i + 1) primary
+        s.Params.gamma_star s.Params.throughput_lb r.Nab.throughput_pipelined
+        (Nab.fault_free_agree r)
+        (Nab.valid_outputs r ~inputs)
+        r.Nab.dc_count
+        (if primary = 5 then
+           "Byzantine primary: agreement holds, validity vacuous (paper case iii)"
+         else "replica 5 attacks, gets excluded")
+    )
+    epochs;
+  Printf.printf
+    "\nA Byzantine primary cannot break agreement: either all replicas receive\n\
+     a consistent (possibly bogus) value - the paper's outcome (iii) - or the\n\
+     equality check fires and dispute control pins the fault on it.\n"

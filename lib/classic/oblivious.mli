@@ -1,0 +1,24 @@
+(** The capacity-oblivious baseline of the paper's introduction: run a
+    classical Byzantine broadcast (EIG) directly on the L-bit input, ignoring
+    link capacities. Correct, but its time on heterogeneous networks is
+    dominated by pushing L-bit copies over the thinnest links — benchmark E8
+    shows the gap versus NAB growing without bound as the bottleneck
+    narrows. *)
+
+open Nab_graph
+open Nab_net
+
+val broadcast :
+  sim:Packet.t Sim.t ->
+  routing:Routing.t ->
+  f:int ->
+  source:int ->
+  value_bits:int ->
+  data:int array ->
+  faulty:Vset.t ->
+  ?adversary:Eig.adversary ->
+  unit ->
+  (int * Wire.payload) list
+(** BB of an L-bit value (L = [value_bits], content [data]) via plain EIG
+    under the phase label "oblivious". Returns per-node decisions. Timing is
+    read off the simulator afterwards. *)

@@ -1,0 +1,51 @@
+(** One logical all-pairs message exchange, physically realised by routing
+    each logical message over the {!Routing} path set and majority-voting at
+    the receiver. This emulates a complete network on any graph with
+    connectivity >= 2f+1, which is how the paper runs Broadcast_Default ([6])
+    on incomplete graphs (Appendix D).
+
+    Fault model hooks let Byzantine nodes (a) send different payloads down
+    different paths of the same logical message, (b) corrupt or drop packets
+    they relay, and (c) inject forged packets. Honest receivers only accept
+    packets arriving from the expected predecessor on a route of the common
+    routing table, so forging is limited to what the paper's adversary can
+    do. *)
+
+open Nab_graph
+open Nab_net
+
+type hooks = {
+  originate : me:int -> dst:int -> path:int list -> Wire.payload -> Wire.payload option;
+      (** Applied per path when a faulty source emits a logical message;
+          [None] drops that copy. *)
+  forward : me:int -> Packet.t -> Packet.t option;
+      (** Applied when a faulty relay forwards; [None] drops. The returned
+          packet is re-validated downstream like any other. *)
+  inject : me:int -> subround:int -> Packet.t list;
+      (** Extra packets a faulty node emits each subround. *)
+}
+
+val honest_hooks : hooks
+(** Follow the protocol (used for faulty nodes that behave correctly). *)
+
+type delivery = (int * int, Wire.payload) Hashtbl.t
+(** Majority-decoded payload per (origin, destination). *)
+
+val exchange :
+  sim:Packet.t Sim.t ->
+  phase:string ->
+  routing:Routing.t ->
+  proto:string ->
+  faulty:Vset.t ->
+  hooks:hooks ->
+  default:Wire.payload ->
+  sends:(int * int * Wire.payload) list ->
+  delivery
+(** Perform one logical exchange: each [(src, dst, payload)] is routed and
+    majority-decoded. At most one send per ordered pair (batch larger
+    traffic into a [Wire.Batch]). Takes [Routing.max_path_len] simulator
+    rounds. The result contains an entry for every (origin, dst) pair for
+    which [dst] accepted at least one copy; {!get} falls back to the
+    default. *)
+
+val get : delivery -> default:Wire.payload -> src:int -> dst:int -> Wire.payload

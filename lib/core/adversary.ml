@@ -1,0 +1,349 @@
+open Nab_graph
+open Nab_net
+open Nab_classic
+
+type ctx = {
+  instance : int;
+  gk : Digraph.t;
+  trees : Arborescence.tree list;
+  coding : Coding.t;
+  source : int;
+  f : int;
+  value_bits : int;
+  rng : Random.State.t;
+}
+
+type t = {
+  name : string;
+  pick_faulty : g:Digraph.t -> source:int -> f:int -> Vset.t;
+  phase1 : ctx -> Phase1.adversary;
+  ec : ctx -> Equality_check.adversary;
+  flag_eig : ctx -> Eig.adversary;
+  dc_claims : ctx -> Dispute.claims_adversary;
+  dc_input : ctx -> (Bitvec.t -> Bitvec.t) option;
+  dc_eig : ctx -> Eig.adversary;
+  reliable : ctx -> Reliable.hooks;
+}
+
+let nobody ~g:_ ~source:_ ~f:_ = Vset.empty
+
+let non_source_heavy ~g ~source ~f =
+  Digraph.vertices g
+  |> List.filter (fun v -> v <> source)
+  |> List.rev
+  |> List.filteri (fun i _ -> i < f)
+  |> Vset.of_list
+
+let with_source ~g ~source ~f =
+  if f < 1 then invalid_arg "Adversary.with_source: needs f >= 1";
+  Vset.add source (non_source_heavy ~g ~source ~f:(f - 1))
+
+let adaptive ~g ~source ~f =
+  (* Greedy: at each step corrupt the node whose full exclusion (all edges
+     incident to it removed) most reduces gamma for the remaining honest
+     network — the worst node NAB could be forced to excise. *)
+  let damage g v =
+    let g' = Digraph.remove_vertex g v in
+    if
+      Digraph.mem_vertex g' source
+      && List.for_all
+           (fun w -> w = source || Nab_graph.Maxflow.max_flow g' ~src:source ~dst:w > 0)
+           (Digraph.vertices g')
+    then Nab_graph.Maxflow.broadcast_mincut g' ~src:source
+    else max_int (* disconnecting choices are not more damaging here *)
+  in
+  let rec pick g chosen remaining =
+    if remaining = 0 then chosen
+    else begin
+      let candidates =
+        List.filter
+          (fun v -> v <> source && not (Vset.mem v chosen))
+          (Digraph.vertices g)
+      in
+      match candidates with
+      | [] -> chosen
+      | _ ->
+          let best =
+            List.fold_left
+              (fun (bv, bd) v ->
+                let d = damage g v in
+                if d < bd || (d = bd && v > bv) then (v, d) else (bv, bd))
+              (List.hd candidates, damage g (List.hd candidates))
+              (List.tl candidates)
+          in
+          let v = fst best in
+          pick (Digraph.remove_vertex g v) (Vset.add v chosen) (remaining - 1)
+    end
+  in
+  pick g Vset.empty f
+
+let honest_hooks ~name pick_faulty =
+  {
+    name;
+    pick_faulty;
+    phase1 = (fun _ -> Phase1.honest);
+    ec = (fun _ -> Equality_check.honest);
+    flag_eig = (fun _ -> Eig.honest);
+    dc_claims = (fun _ -> Dispute.honest_claims_adv);
+    dc_input = (fun _ -> None);
+    dc_eig = (fun _ -> Eig.honest);
+    reliable = (fun _ -> Reliable.honest_hooks);
+  }
+
+let none = honest_hooks ~name:"none" nobody
+let dormant = honest_hooks ~name:"dormant" non_source_heavy
+
+let crash =
+  {
+    (honest_hooks ~name:"crash" non_source_heavy) with
+    phase1 = (fun _ ~me:_ ~tree:_ ~dst:_ _ -> None);
+    ec = (fun _ ~me:_ ~dst:_ _ -> [||]);
+    flag_eig = (fun _ ~me:_ ~round:_ ~dst:_ _ -> []);
+    dc_claims = (fun _ ~me:_ _ -> []);
+    dc_eig = (fun _ ~me:_ ~round:_ ~dst:_ _ -> []);
+    reliable =
+      (fun _ ->
+        {
+          Reliable.honest_hooks with
+          forward = (fun ~me:_ _ -> None);
+          originate = (fun ~me:_ ~dst:_ ~path:_ _ -> None);
+        });
+  }
+
+let flip_payload = function
+  | Wire.Value { bits; data } ->
+      let data = Array.copy data in
+      if Array.length data > 0 then data.(0) <- data.(0) lxor 0xff;
+      Wire.Value { bits; data }
+  | p -> p
+
+let phase1_corrupt =
+  {
+    (honest_hooks ~name:"phase1-corrupt" non_source_heavy) with
+    phase1 =
+      (fun ctx ~me ~tree ~dst payload ->
+        (* Corrupt on the first tree in which [me] has children, and only
+           towards the smallest child. *)
+        let first_tree =
+          List.find_index
+            (fun t -> Arborescence.children t me <> [])
+            ctx.trees
+        in
+        let first_child =
+          Option.map
+            (fun t -> List.fold_left min max_int (Arborescence.children (List.nth ctx.trees t) me))
+            first_tree
+        in
+        if first_tree = Some tree && first_child = Some dst then
+          Some (flip_payload payload)
+        else Some payload);
+  }
+
+let source_equivocate =
+  {
+    (honest_hooks ~name:"source-equivocate" with_source) with
+    phase1 =
+      (fun ctx ~me ~tree ~dst payload ->
+        (* Equivocate: even-id children of the source on tree 0 get a
+           corrupted slice, so fault-free nodes assemble different values. *)
+        if me = ctx.source && tree = 0 && dst mod 2 = 0 then
+          Some (flip_payload payload)
+        else Some payload);
+    dc_input = (fun _ -> Some (fun input -> input));
+  }
+
+let ec_liar =
+  {
+    (honest_hooks ~name:"ec-liar" non_source_heavy) with
+    ec =
+      (fun _ ~me:_ ~dst:_ y ->
+        let y = Array.copy y in
+        if Array.length y > 0 then y.(0) <- y.(0) lxor 1;
+        y);
+  }
+
+let false_flag =
+  {
+    (honest_hooks ~name:"false-flag" non_source_heavy) with
+    flag_eig =
+      (fun _ ~me ~round ~dst:_ pairs ->
+        if round = 1 then
+          List.map
+            (fun (label, v) -> if label = [ me ] then (label, Wire.Flag true) else (label, v))
+            pairs
+        else pairs);
+  }
+
+let stealthy =
+  (* Pick the smallest remaining neighbour as this instance's victim. The
+     attacker's own claims are rewritten to the honest protocol output, so
+     DC3 cannot convict it; only a DC2 dispute with the victim appears. *)
+  let victim_of ctx me =
+    match Digraph.neighbors ctx.gk me with v :: _ -> Some v | [] -> None
+  in
+  {
+    (honest_hooks ~name:"stealthy" non_source_heavy) with
+    ec =
+      (fun ctx ~me ~dst y ->
+        if victim_of ctx me = Some dst then begin
+          let y = Array.copy y in
+          if Array.length y > 0 then y.(0) <- y.(0) lxor 1;
+          y
+        end
+        else y);
+    dc_claims =
+      (fun ctx ~me claims ->
+        (* Claim the equality-check send to the victim was the protocol-
+           prescribed one: recompute it from the claimed Phase-1 receptions
+           exactly as DC3's replay will, so DC3 finds nothing and only a DC2
+           dispute with the victim remains. *)
+        match victim_of ctx me with
+        | None -> claims
+        | Some victim ->
+            let n_trees = List.length ctx.trees in
+            let sizes =
+              Phase1.slice_sizes ~value_bits:ctx.value_bits ~trees:n_trees
+            in
+            let received_on_tree t =
+              match Arborescence.parent (List.nth ctx.trees t) me with
+              | None -> None
+              | Some parent ->
+                  List.find_map
+                    (fun (c : Wire.claim) ->
+                      if
+                        c.c_phase = Phase1.tree_proto t
+                        && c.c_src = parent && c.c_dst = me
+                        && c.c_dir = Wire.Received
+                      then Some c.c_body
+                      else None)
+                    claims
+            in
+            let x_value =
+              Phase1.assemble ~slice_sizes:sizes (Array.init n_trees received_on_tree)
+            in
+            let sym_bits = Nab_field.Gf2p.degree (Coding.field ctx.coding) in
+            let x = Bitvec.to_symbols x_value ~sym_bits in
+            let honest_payload =
+              Equality_check.expected_send ctx.coding ~edge:(me, victim) ~x
+            in
+            List.map
+              (fun (c : Wire.claim) ->
+                if
+                  c.c_dir = Wire.Sent && c.c_src = me && c.c_dst = victim
+                  && c.c_phase = Equality_check.proto
+                then { c with c_body = honest_payload }
+                else c)
+              claims);
+  }
+
+let dc_frame =
+  {
+    (honest_hooks ~name:"dc-frame" non_source_heavy) with
+    ec = ec_liar.ec;
+    dc_claims =
+      (fun ctx ~me claims ->
+        let honest_neighbours =
+          Digraph.neighbors ctx.gk me
+          |> List.filter (fun v -> v <> me)
+        in
+        match honest_neighbours with
+        | [] -> claims
+        | victim :: _ ->
+            List.map
+              (fun (c : Wire.claim) ->
+                if c.c_dir = Wire.Received && c.c_src = victim then
+                  { c with c_body = flip_payload c.c_body }
+                else c)
+              claims);
+  }
+
+(* Randomised strategies draw from a stream keyed by (strategy seed,
+   instance), persistent across hook calls within an instance, so behaviour
+   is deterministic in the seed and two seeds genuinely differ. Create a
+   fresh strategy value per run for cross-run reproducibility. *)
+let seeded_stream ~seed =
+  let streams = Hashtbl.create 8 in
+  fun (ctx : ctx) ->
+    match Hashtbl.find_opt streams ctx.instance with
+    | Some r -> r
+    | None ->
+        let r = Random.State.make [| seed; ctx.instance; 0x6a33 |] in
+        Hashtbl.add streams ctx.instance r;
+        r
+
+let garbage ~seed =
+  let hooks = honest_hooks ~name:"garbage" non_source_heavy in
+  let stream = seeded_stream ~seed in
+  let flip_with rng p = if Random.State.bool rng then flip_payload p else p in
+  {
+    hooks with
+    phase1 =
+      (fun ctx ~me:_ ~tree:_ ~dst:_ payload ->
+        let rng = stream ctx in
+        if Random.State.int rng 4 = 0 then None else Some (flip_with rng payload));
+    ec =
+      (fun ctx ~me:_ ~dst:_ y ->
+        let rng = stream ctx in
+        Array.map (fun s -> if Random.State.int rng 3 = 0 then s lxor 1 else s) y);
+    flag_eig =
+      (fun ctx ~me:_ ~round:_ ~dst:_ pairs ->
+        let rng = stream ctx in
+        List.map
+          (fun (label, v) ->
+            if Random.State.int rng 3 = 0 then (label, Wire.Flag (Random.State.bool rng))
+            else (label, v))
+          pairs);
+    dc_claims =
+      (fun ctx ~me:_ claims ->
+        let rng = stream ctx in
+        List.filter (fun _ -> Random.State.int rng 4 <> 0) claims);
+  }
+
+let chaos ~seed =
+  let base = garbage ~seed in
+  let stream = seeded_stream ~seed:(seed lxor 0x51a5) in
+  {
+    base with
+    name = "chaos";
+    dc_claims =
+      (fun ctx ~me:_ claims ->
+        let rng = stream ctx in
+        List.filter_map
+          (fun (c : Wire.claim) ->
+            match Random.State.int rng 6 with
+            | 0 -> None
+            | 1 -> Some { c with c_body = flip_payload c.c_body }
+            | _ -> Some c)
+          claims);
+    dc_eig =
+      (fun ctx ~me:_ ~round:_ ~dst:_ pairs ->
+        if Random.State.int (stream ctx) 8 = 0 then [] else pairs);
+    reliable =
+      (fun ctx ->
+        let rng = stream ctx in
+        {
+          Reliable.honest_hooks with
+          forward =
+            (fun ~me:_ (pkt : Packet.t) ->
+              match Random.State.int rng 5 with
+              | 0 -> None
+              | 1 -> Some { pkt with Packet.payload = flip_payload pkt.Packet.payload }
+              | _ -> Some pkt);
+        });
+  }
+
+let all =
+  [
+    ("none", none);
+    ("dormant", dormant);
+    ("crash", crash);
+    ("phase1-corrupt", phase1_corrupt);
+    ("source-equivocate", source_equivocate);
+    ("ec-liar", ec_liar);
+    ("stealthy", stealthy);
+    ("false-flag", false_flag);
+    ("dc-frame", dc_frame);
+    ("garbage", garbage ~seed:42);
+    ("chaos", chaos ~seed:42);
+    ("adaptive-ec-liar", { ec_liar with name = "adaptive-ec-liar"; pick_faulty = adaptive });
+  ]

@@ -1,0 +1,95 @@
+open Nab_matrix
+open Nab_graph
+
+let column_index ~h =
+  let offsets, _ =
+    List.fold_left
+      (fun (acc, off) (s, d, cap) -> (((s, d), off) :: acc, off + cap))
+      ([], 0) (Digraph.edges h)
+  in
+  List.rev offsets
+
+let reference_vertex h =
+  let verts = Digraph.vertices h in
+  List.nth verts (List.length verts - 1)
+
+(* Must match the block ordering of Coding.expanded_matrix: index in the
+   sorted vertex list, reference (largest id) excluded. *)
+let block_index h =
+  let reference = reference_vertex h in
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i v -> if v <> reference then Hashtbl.add tbl v i)
+    (Digraph.vertices h);
+  tbl
+
+let adjacency_matrix _fld ~h ~tree_arcs =
+  let reference = reference_vertex h in
+  let idx = block_index h in
+  let n1 = Hashtbl.length idx in
+  if List.length tree_arcs <> n1 then
+    invalid_arg "Appendix_c.adjacency_matrix: arc count must be |h| - 1";
+  Matrix.init n1 n1 (fun r c ->
+      let i, j = List.nth tree_arcs c in
+      let hit v = v <> reference && Hashtbl.find idx v = r in
+      if hit i || hit j then 1 else 0)
+
+type spanning_choice = { arcs : (int * int) list; columns : int list }
+
+let choose_spanning_matrices ~h ~rho =
+  let hbar = Ugraph.of_digraph h in
+  match Spanning.greedy_disjoint_trees hbar ~k:rho with
+  | None -> None
+  | Some trees ->
+      let offsets = column_index ~h in
+      let used : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+      let take_column (a, b) =
+        (* Map the undirected tree edge to a directed arc of H with a free
+           coded-symbol column. *)
+        let try_dir (s, d) =
+          let cap = Digraph.cap h s d in
+          let u = try Hashtbl.find used (s, d) with Not_found -> 0 in
+          if u < cap then begin
+            Hashtbl.replace used (s, d) (u + 1);
+            Some ((s, d), List.assoc (s, d) offsets + u)
+          end
+          else None
+        in
+        match try_dir (a, b) with Some r -> Some r | None -> try_dir (b, a)
+      in
+      let rec alloc trees acc =
+        match trees with
+        | [] -> Some (List.rev acc)
+        | tree :: rest -> (
+            let picked =
+              List.fold_left
+                (fun acc edge ->
+                  match acc with
+                  | None -> None
+                  | Some l -> (
+                      match take_column edge with
+                      | None -> None
+                      | Some (arc, col) -> Some ((arc, col) :: l)))
+                (Some []) tree
+            in
+            match picked with
+            | None -> None
+            | Some pairs ->
+                let pairs = List.rev pairs in
+                alloc rest
+                  ({ arcs = List.map fst pairs; columns = List.map snd pairs } :: acc))
+      in
+      alloc trees []
+
+let m_h coding ~h choices =
+  let ch = Coding.expanded_matrix coding ~h in
+  let cols = List.concat_map (fun c -> c.columns) choices in
+  Matrix.select_cols ch cols
+
+let certify coding ~h =
+  let rho = Coding.rho coding in
+  match choose_spanning_matrices ~h ~rho with
+  | None -> None
+  | Some choices ->
+      let m = m_h coding ~h choices in
+      Some (Gauss.is_invertible (Coding.field coding) m)

@@ -1,0 +1,50 @@
+(** The constructive machinery of Appendix C, executable.
+
+    The proof of Theorem 1 builds, for each candidate fault-free subgraph H,
+    a square submatrix M_H of the expanded coding matrix C_H by choosing
+    rho_k column-disjoint spanning trees of \bar{H} (each tree contributes
+    one coded symbol per edge — a "spanning matrix" S_q); invertibility of
+    M_H implies C_H has full row rank, which is the (EC) correctness
+    condition. The proof further factors each reordered S_q through the
+    tree's reduced incidence matrix A_q, which is always invertible
+    (det = +-1; in characteristic 2, = 1).
+
+    This module constructs those objects concretely so the proof's steps can
+    be checked computationally, and offers [certify] as an alternative to
+    the rank test of {!Coding.correct_for}. *)
+
+open Nab_field
+open Nab_matrix
+open Nab_graph
+
+val column_index : h:Digraph.t -> ((int * int) * int) list
+(** Start offset of each directed edge's column block inside C_H (edges in
+    {!Digraph.edges} order, z_e columns each). *)
+
+val adjacency_matrix : Gf2p.t -> h:Digraph.t -> tree_arcs:(int * int) list -> Matrix.t
+(** The (|h|-1) x (|h|-1) matrix A_q of Appendix C.3 for a spanning tree of
+    \bar{H} given by directed arcs of H (one per tree edge), with the
+    reference vertex = largest id of [h]: column r has a 1 in the block row
+    of each non-reference endpoint of the r-th arc (+1 and -1 coincide in
+    characteristic 2). *)
+
+type spanning_choice = {
+  arcs : (int * int) list;  (** one directed arc of H per undirected tree edge *)
+  columns : int list;  (** the chosen C_H column (one coded symbol) per arc *)
+}
+
+val choose_spanning_matrices : h:Digraph.t -> rho:int -> spanning_choice list option
+(** Pick [rho] column-disjoint spanning trees of \bar{H} (greedy packing;
+    guaranteed to exist when rho <= U_H / 2 by Tutte/Nash-Williams, though
+    the greedy search may fail on adversarial inputs — [None] then).
+    Each choice lists its arcs and the distinct C_H columns it occupies. *)
+
+val m_h : Coding.t -> h:Digraph.t -> spanning_choice list -> Matrix.t
+(** The square matrix M_H = [S_1 ... S_rho]: the selected columns of C_H. *)
+
+val certify : Coding.t -> h:Digraph.t -> bool option
+(** [Some true]: an invertible M_H was constructed (C_H has full row rank,
+    the matrices are correct for H). [Some false]: the constructed M_H is
+    singular (inconclusive about other column choices, but Theorem 1 says
+    this happens with probability <= the failure bound). [None]: no spanning
+    packing was found by the greedy search. *)

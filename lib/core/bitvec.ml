@@ -1,0 +1,119 @@
+type t = { len : int; data : Bytes.t (* big-endian bit packing; padding bits zero *) }
+
+let bytes_needed len = (len + 7) / 8
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; data = Bytes.make (bytes_needed len) '\000' }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec.get: out of range";
+  Char.code (Bytes.get t.data (i / 8)) land (0x80 lsr (i mod 8)) <> 0
+
+let set t i b =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec.set: out of range";
+  let data = Bytes.copy t.data in
+  let byte = Char.code (Bytes.get data (i / 8)) in
+  let mask = 0x80 lsr (i mod 8) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.set data (i / 8) (Char.chr (byte land 0xff));
+  { t with data }
+
+let random len st =
+  let t = create len in
+  let data = Bytes.copy t.data in
+  for i = 0 to Bytes.length data - 1 do
+    Bytes.set data i (Char.chr (Random.State.int st 256))
+  done;
+  (* Clear padding bits so equality stays structural. *)
+  let rem = len mod 8 in
+  if rem > 0 && Bytes.length data > 0 then begin
+    let last = Bytes.length data - 1 in
+    let keep = 0xff lsl (8 - rem) land 0xff in
+    Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land keep))
+  end;
+  { len; data }
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+let compare a b = Stdlib.compare (a.len, a.data) (b.len, b.data)
+
+let init len f =
+  let t = create len in
+  let data = Bytes.copy t.data in
+  for i = 0 to len - 1 do
+    if f i then begin
+      let byte = Char.code (Bytes.get data (i / 8)) in
+      Bytes.set data (i / 8) (Char.chr (byte lor (0x80 lsr (i mod 8))))
+    end
+  done;
+  { len; data }
+
+let concat parts =
+  let total = List.fold_left (fun acc p -> acc + p.len) 0 parts in
+  let pos = ref 0 in
+  let lookup = Array.make total false in
+  List.iter
+    (fun p ->
+      for i = 0 to p.len - 1 do
+        lookup.(!pos + i) <- get p i
+      done;
+      pos := !pos + p.len)
+    parts;
+  init total (fun i -> lookup.(i))
+
+let slice t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitvec.slice: out of range";
+  init len (fun i -> get t (pos + i))
+
+let split t ~parts =
+  if parts <= 0 || t.len mod parts <> 0 then
+    invalid_arg "Bitvec.split: parts must divide the length";
+  let part_len = t.len / parts in
+  List.init parts (fun p -> slice t ~pos:(p * part_len) ~len:part_len)
+
+let balanced_sizes ~bits ~parts =
+  if parts <= 0 || bits < 0 then invalid_arg "Bitvec.balanced_sizes";
+  let base = bits / parts and extra = bits mod parts in
+  Array.init parts (fun i -> base + if i < extra then 1 else 0)
+
+let split_balanced t ~parts =
+  let sizes = balanced_sizes ~bits:t.len ~parts in
+  let pos = ref 0 in
+  Array.to_list
+    (Array.map
+       (fun len ->
+         let s = slice t ~pos:!pos ~len in
+         pos := !pos + len;
+         s)
+       sizes)
+
+let to_symbols t ~sym_bits =
+  if sym_bits < 1 || sym_bits > 61 then invalid_arg "Bitvec.to_symbols: bad symbol width";
+  if t.len mod sym_bits <> 0 then
+    invalid_arg "Bitvec.to_symbols: width must divide the length";
+  Array.init (t.len / sym_bits) (fun s ->
+      let acc = ref 0 in
+      for i = 0 to sym_bits - 1 do
+        acc := (!acc lsl 1) lor if get t ((s * sym_bits) + i) then 1 else 0
+      done;
+      !acc)
+
+let of_symbols ~sym_bits syms =
+  if sym_bits < 1 || sym_bits > 61 then invalid_arg "Bitvec.of_symbols: bad symbol width";
+  let n = Array.length syms in
+  init (n * sym_bits) (fun i ->
+      let s = i / sym_bits and b = i mod sym_bits in
+      syms.(s) lsr (sym_bits - 1 - b) land 1 = 1)
+
+let pad_to t len =
+  if len < t.len then invalid_arg "Bitvec.pad_to: shorter than value";
+  if len = t.len then t else init len (fun i -> i < t.len && get t i)
+
+let of_string s = init (8 * String.length s) (fun i -> Char.code s.[i / 8] land (0x80 lsr (i mod 8)) <> 0)
+
+let to_hex t =
+  String.concat "" (List.init (Bytes.length t.data) (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get t.data i))))
+
+let pp fmt t = Format.fprintf fmt "<%d bits: %s>" t.len (to_hex t)

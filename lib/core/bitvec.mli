@@ -1,0 +1,49 @@
+(** Immutable L-bit values. NAB views the same L bits at several
+    granularities: gamma slices of L/gamma bits in Phase 1, rho symbols of
+    L/rho bits in the Equality Check. This module is the canonical value
+    representation with conversions between the views. Bit order is MSB
+    first (bit 0 is the most significant of the value). *)
+
+type t
+
+val create : int -> t
+(** All-zero value of the given bit length (>= 0). *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> t
+(** Functional update. *)
+
+val random : int -> Random.State.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val concat : t list -> t
+val slice : t -> pos:int -> len:int -> t
+
+val split : t -> parts:int -> t list
+(** Equal-length parts; raises [Invalid_argument] unless parts divides the
+    length. *)
+
+val balanced_sizes : bits:int -> parts:int -> int array
+(** Sizes of a balanced split: the first [bits mod parts] parts get
+    [ceil(bits/parts)] bits, the rest [floor(bits/parts)]. *)
+
+val split_balanced : t -> parts:int -> t list
+(** Split into [parts] consecutive slices with {!balanced_sizes}; works for
+    any positive [parts] (Phase 1 uses this when gamma does not divide L). *)
+
+val to_symbols : t -> sym_bits:int -> int array
+(** Read as big-endian symbols of [sym_bits] bits each (1 <= sym_bits <= 61,
+    sym_bits must divide the length). *)
+
+val of_symbols : sym_bits:int -> int array -> t
+
+val pad_to : t -> int -> t
+(** Zero-extend on the right to the given length (no-op if already there). *)
+
+val of_string : string -> t
+(** Each byte contributes 8 bits. *)
+
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit

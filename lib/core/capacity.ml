@@ -1,0 +1,104 @@
+open Nab_graph
+
+type gamma_witness = {
+  psi : Digraph.t;
+  bottleneck_node : int;
+  cut_value : int;
+  cut_edges : (int * int) list;
+}
+
+type rho_witness = {
+  h_nodes : Vset.t;
+  u_h : int;
+  side : Vset.t;
+  crossing_capacity : int;
+}
+
+let gamma_witness g ~source ~f =
+  let candidates = Params.psi_graphs g ~source ~f in
+  let best =
+    List.fold_left
+      (fun acc psi ->
+        let gam = Params.gamma_k psi ~source in
+        if gam < 1 then acc
+        else
+          match acc with
+          | Some (_, best_g) when best_g <= gam -> acc
+          | _ -> Some (psi, gam))
+      None candidates
+  in
+  match best with
+  | None -> invalid_arg "Capacity.gamma_witness: no reachable graph with gamma >= 1"
+  | Some (psi, gam) ->
+      let bottleneck_node =
+        List.find
+          (fun j -> j <> source && Maxflow.max_flow psi ~src:source ~dst:j = gam)
+          (Digraph.vertices psi)
+      in
+      let cut_value, cut_edges = Maxflow.min_cut_edges psi ~src:source ~dst:bottleneck_node in
+      { psi; bottleneck_node; cut_value; cut_edges }
+
+let rho_witness g ~f =
+  let total_n = Digraph.num_vertices g in
+  let omega = Params.omega_k g ~total_n ~f ~disputes:[] in
+  let best =
+    List.fold_left
+      (fun acc h_nodes ->
+        let sub = Ugraph.of_digraph (Digraph.induced g h_nodes) in
+        let u = Stoer_wagner.min_cut_value sub in
+        match acc with
+        | Some (_, best_u, _) when best_u <= u -> acc
+        | _ ->
+            let _, side = Stoer_wagner.min_cut sub in
+            Some (h_nodes, u, side))
+      None omega
+  in
+  match best with
+  | None -> invalid_arg "Capacity.rho_witness: Omega_1 is empty"
+  | Some (h_nodes, u_h, side) ->
+      { h_nodes; u_h; side; crossing_capacity = u_h }
+
+let verify g ~source ~f =
+  let s = Params.stars g ~source ~f in
+  let gw = gamma_witness g ~source ~f in
+  let rw = rho_witness g ~f in
+  if gw.cut_value <> s.Params.gamma_star then
+    Error
+      (Printf.sprintf "gamma witness cut %d does not match gamma* = %d" gw.cut_value
+         s.Params.gamma_star)
+  else if rw.u_h / 2 <> s.Params.rho_star then
+    Error
+      (Printf.sprintf "rho witness U_H = %d does not match 2 rho* = %d" rw.u_h
+         (2 * s.Params.rho_star))
+  else begin
+    let implied = Float.min (float_of_int gw.cut_value) (float_of_int rw.u_h) in
+    (* Odd U_H: the theorem's ceiling is U_H itself; stars uses 2 rho* =
+       2*(U/2), so the implied bound may exceed capacity_ub by at most 1. *)
+    if implied >= s.Params.capacity_ub && implied <= s.Params.capacity_ub +. 1.0 then
+      Ok ()
+    else
+      Error
+        (Printf.sprintf "implied bound %.1f inconsistent with capacity_ub %.1f" implied
+           s.Params.capacity_ub)
+  end
+
+let pp_report fmt g ~source ~f =
+  let s = Params.stars g ~source ~f in
+  let gw = gamma_witness g ~source ~f in
+  let rw = rho_witness g ~f in
+  Format.fprintf fmt
+    "@[<v>capacity ceiling: C_BB <= min(gamma* = %d, 2 rho* = %d) = %.1f@,@," s.Params.gamma_star
+    (2 * s.Params.rho_star) s.Params.capacity_ub;
+  Format.fprintf fmt
+    "gamma side: after worst-case disputes the network becomes a graph with@,\
+     %d nodes where node %d is behind a cut of capacity %d:@,  cut edges: %a@,@,"
+    (Digraph.num_vertices gw.psi) gw.bottleneck_node gw.cut_value
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (a, b) -> Format.fprintf fmt "%d->%d" a b))
+    gw.cut_edges;
+  Format.fprintf fmt
+    "rho side: the candidate fault-free set %a has undirected global@,\
+     min cut U_H = %d, split %a vs the rest; the two-scenario@,\
+     indistinguishability argument caps the rate at U_H.@]@."
+    Vset.pp rw.h_nodes rw.u_h Vset.pp rw.side

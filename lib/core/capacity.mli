@@ -1,0 +1,39 @@
+(** Constructive witnesses for the Theorem-2 capacity upper bound
+    (Appendix F). The theorem proves C_BB <= min(gamma', 2 rho') with two
+    cut arguments; this module exhibits the actual cuts, so the bound can be
+    verified (and explained) on any concrete network.
+
+    - C_BB <= gamma*: some reachable graph Psi_W in Gamma and node j with
+      MINCUT(Psi_W, source, j) = gamma*; an adversary that silences the
+      explaining fault set's disputed edges caps the rate at that cut.
+    - C_BB <= 2 rho*: some H in Omega_1 (a candidate fault-free set) whose
+      undirected global min cut is U_H = 2 rho*; the indistinguishability
+      argument across that cut's two sides caps the rate at U_H. *)
+
+open Nab_graph
+
+type gamma_witness = {
+  psi : Digraph.t;  (** the reachable graph attaining gamma* *)
+  bottleneck_node : int;  (** j with MINCUT(psi, source, j) = gamma* *)
+  cut_value : int;  (** = gamma* *)
+  cut_edges : (int * int) list;  (** a min source-j cut in psi *)
+}
+
+type rho_witness = {
+  h_nodes : Vset.t;  (** the H in Omega_1 attaining U_H = 2 rho* (+0/1) *)
+  u_h : int;  (** its undirected global min cut *)
+  side : Vset.t;  (** the paper's L: one side of the min cut of \bar{H} *)
+  crossing_capacity : int;  (** = u_h *)
+}
+
+val gamma_witness : Digraph.t -> source:int -> f:int -> gamma_witness
+val rho_witness : Digraph.t -> f:int -> rho_witness
+
+val verify : Digraph.t -> source:int -> f:int -> (unit, string) result
+(** Check both witnesses against {!Params.stars}: the gamma witness's cut
+    value equals gamma*, the rho witness's U_H equals 2 rho* or 2 rho* + 1
+    (odd U), and the implied bound matches [capacity_ub]. *)
+
+val pp_report : Format.formatter -> Digraph.t -> source:int -> f:int -> unit
+(** Human-readable explanation of where the capacity ceiling of a network
+    comes from. *)

@@ -1,0 +1,79 @@
+open Nab_graph
+
+type result = {
+  decisions : (int * Bitvec.t) list;
+  vectors : (int * (int * Bitvec.t) list) list;
+  reports : (int * Nab.run_report) list;
+}
+
+(* Majority with a deterministic tie-break: the most frequent value, ties
+   resolved toward the smaller bit string. All honest nodes apply this to
+   identical vectors, so any deterministic rule preserves agreement. *)
+let choose ~l vector =
+  let tally = ref [] in
+  List.iter
+    (fun (_, v) ->
+      match List.find_opt (fun (w, _) -> Bitvec.equal w v) !tally with
+      | Some (w, n) ->
+          tally := (w, n + 1) :: List.filter (fun (x, _) -> not (Bitvec.equal x w)) !tally
+      | None -> tally := (v, 1) :: !tally)
+    vector;
+  match !tally with
+  | [] -> Bitvec.create l
+  | first :: rest ->
+      fst
+        (List.fold_left
+           (fun (bv, bn) (v, n) ->
+             if n > bn || (n = bn && Bitvec.compare v bv < 0) then (v, n) else (bv, bn))
+           first rest)
+
+let run ~g ~config ~adversary ~inputs =
+  let f = config.Nab.f in
+  (* Fix the corrupted set once, independent of which source is running. *)
+  let faulty =
+    adversary.Adversary.pick_faulty ~g ~source:config.Nab.source ~f
+  in
+  let pinned = { adversary with Adversary.pick_faulty = (fun ~g:_ ~source:_ ~f:_ -> faulty) } in
+  let sources = Digraph.vertices g in
+  let reports =
+    List.map
+      (fun s ->
+        let cfg = { config with Nab.source = s } in
+        (s, Nab.run ~g ~config:cfg ~adversary:pinned ~inputs:(fun _ -> inputs s) ~q:1))
+      sources
+  in
+  let vector_of v =
+    List.map
+      (fun (s, report) ->
+        let inst = List.hd report.Nab.instances in
+        match List.assoc_opt v inst.Nab.decisions with
+        | Some d -> (s, d)
+        | None -> (s, Bitvec.create config.Nab.l_bits))
+      reports
+  in
+  let vectors = List.map (fun v -> (v, vector_of v)) sources in
+  let decisions =
+    List.map (fun (v, vec) -> (v, choose ~l:config.Nab.l_bits vec)) vectors
+  in
+  { decisions; vectors; reports }
+
+let all_agree result ~faulty =
+  match List.filter (fun (v, _) -> not (Vset.mem v faulty)) result.decisions with
+  | [] -> true
+  | (_, d0) :: rest -> List.for_all (fun (_, d) -> Bitvec.equal d d0) rest
+
+let valid result ~faulty ~inputs =
+  let honest = List.filter_map (fun (v, _) -> if Vset.mem v faulty then None else Some v)
+      result.decisions
+  in
+  match honest with
+  | [] -> true
+  | v0 :: rest ->
+      let i0 = inputs v0 in
+      if List.for_all (fun v -> Bitvec.equal (inputs v) i0) rest then
+        List.for_all
+          (fun (v, d) ->
+            Vset.mem v faulty
+            || Bitvec.equal d (Bitvec.pad_to i0 (Bitvec.length d)))
+          result.decisions
+      else true

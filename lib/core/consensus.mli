@@ -1,0 +1,40 @@
+(** Multi-valued Byzantine consensus composed from n parallel NAB
+    broadcasts — the classical reduction the paper's motivation (replicated
+    server systems agreeing on requests [5]) relies on, and the setting of
+    the authors' companion work [15]: every node NAB-broadcasts its own
+    input, so all fault-free nodes hold an identical vector of n agreed
+    values, and a deterministic rule (majority, with a fixed tie-break) over
+    that vector yields consensus.
+
+    Guarantees for f < n/3 and connectivity >= 2f+1:
+    - agreement: all fault-free nodes output the same value;
+    - validity: if every fault-free node holds the same input v, the output
+      is v (v appears >= n-f > n/2 times in the agreed vector).
+
+    Each source's broadcast runs as an independent single-instance session;
+    a production system would interleave them and share dispute state, which
+    the session API supports — this module keeps the composition simple. *)
+
+open Nab_graph
+
+type result = {
+  decisions : (int * Bitvec.t) list;  (** consensus output per node *)
+  vectors : (int * (int * Bitvec.t) list) list;
+      (** per node: the agreed broadcast vector (source, agreed value) *)
+  reports : (int * Nab.run_report) list;  (** per source *)
+}
+
+val run :
+  g:Digraph.t ->
+  config:Nab.config ->
+  adversary:Adversary.t ->
+  inputs:(int -> Bitvec.t) ->
+  result
+(** [inputs v] is node v's consensus input. The corrupted set is fixed once
+    (from the adversary's picker at the configured source) and reused across
+    all n broadcasts, as the paper's fault model requires. *)
+
+val all_agree : result -> faulty:Vset.t -> bool
+val valid : result -> faulty:Vset.t -> inputs:(int -> Bitvec.t) -> bool
+(** True when fault-free nodes share an input and the output equals it;
+    vacuously true when fault-free inputs differ. *)

@@ -1,0 +1,49 @@
+open Nab_graph
+open Nab_net
+
+let proto = "ec"
+
+type adversary = me:int -> dst:int -> int array -> int array
+
+let honest ~me:_ ~dst:_ y = y
+
+let expected_send coding ~edge ~x =
+  let sym_bits = Nab_field.Gf2p.degree (Coding.field coding) in
+  Wire.Coded { sym_bits; data = Coding.encode coding ~edge x }
+
+let payload_symbols ~sym_bits = function
+  | Some (Wire.Coded { sym_bits = sb; data }) when sb = sym_bits -> Some data
+  | Some _ | None -> None
+
+let expected_flag coding ~graph ~me ~x ~received =
+  let sym_bits = Nab_field.Gf2p.degree (Coding.field coding) in
+  List.exists
+    (fun (src, _) ->
+      match payload_symbols ~sym_bits (received ~src) with
+      | None -> true (* missing or malformed = default value = mismatch *)
+      | Some data -> not (Coding.check coding ~edge:(src, me) ~x ~received:data))
+    (Digraph.in_edges graph me)
+
+let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
+  let g = match graph with Some g -> g | None -> Sim.graph sim in
+  let verts = Digraph.vertices g in
+  let outbox v =
+    List.map
+      (fun (dst, _) ->
+        let y = Coding.encode coding ~edge:(v, dst) (values v) in
+        let y = if Vset.mem v faulty then adversary ~me:v ~dst y else y in
+        let sym_bits = Nab_field.Gf2p.degree (Coding.field coding) in
+        (dst, Packet.direct ~proto ~origin:v ~dst (Wire.Coded { sym_bits; data = y })))
+      (Digraph.out_edges g v)
+  in
+  let inbox = Sim.round sim ~phase outbox in
+  List.map
+    (fun v ->
+      let received ~src =
+        List.find_map
+          (fun (s, (pkt : Packet.t)) ->
+            if s = src && pkt.proto = proto then Some pkt.payload else None)
+          (inbox v)
+      in
+      (v, expected_flag coding ~graph:g ~me:v ~x:(values v) ~received))
+    verts

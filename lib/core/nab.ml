@@ -1,0 +1,409 @@
+open Nab_graph
+open Nab_net
+open Nab_classic
+
+type config = {
+  f : int;
+  source : int;
+  l_bits : int;
+  m : int;
+  seed : int;
+  flag_backend : [ `Eig | `Phase_king ];
+}
+
+let default_config =
+  { f = 1; source = 1; l_bits = 1024; m = 16; seed = 7; flag_backend = `Eig }
+
+type instance_report = {
+  k : int;
+  value_bits : int;
+  gamma_k : int;
+  rho_k : int;
+  decisions : (int * Bitvec.t) list;
+  mismatch : bool;
+  dc_run : bool;
+  reduced_to_phase1 : bool;
+  coding_attempts : int;
+  wall_time : float;
+  pipelined_time : float;
+  phase_stats : Sim.phase_stat list;
+  utilization : ((int * int) * float) list;
+  new_disputes : Params.dispute list;
+}
+
+type run_report = {
+  config : config;
+  adversary_name : string;
+  faulty : Vset.t;
+  instances : instance_report list;
+  dc_count : int;
+  disputes : Params.dispute list;
+  final_graph : Digraph.t;
+  total_wall : float;
+  total_pipelined : float;
+  throughput_wall : float;
+  throughput_pipelined : float;
+}
+
+(* Pad L up to a multiple of rho * m (the striped equality check needs whole
+   symbols per stripe; Phase 1 uses balanced slices, so gamma imposes no
+   divisibility constraint). The paper assumes exact divisibility "to
+   simplify the presentation"; padding is at most rho * m - 1 bits. *)
+let padded_bits ~l ~rho ~m =
+  let unit = rho * m in
+  (l + unit - 1) / unit * unit
+
+(* Per-graph cached protocol structure: spanning trees and verified coding
+   matrices are part of the (deterministic) algorithm description for G_k,
+   so they are computed once per distinct graph. *)
+type graph_plan = {
+  plan_gamma : int;
+  plan_rho : int;
+  plan_trees : Arborescence.tree list;
+  plan_coding : Coding.t;
+  plan_coding_attempts : int;
+}
+
+let graph_key g = (Digraph.edges g, Digraph.vertices g)
+
+let make_plan ~config ~total_n ~disputes gk =
+  let gamma = Params.gamma_k gk ~source:config.source in
+  let rho = Params.rho_k gk ~total_n ~f:config.f ~disputes in
+  if gamma < 1 then invalid_arg "Nab: some node unreachable from the source";
+  if rho < 1 then invalid_arg "Nab: U_k < 2, equality check impossible";
+  let trees = Arborescence.pack gk ~root:config.source ~k:gamma in
+  let omega = Params.omega_k gk ~total_n ~f:config.f ~disputes in
+  let coding, attempts =
+    Coding.generate_correct gk ~omega ~rho ~m:config.m ~seed:config.seed ()
+  in
+  {
+    plan_gamma = gamma;
+    plan_rho = rho;
+    plan_trees = trees;
+    plan_coding = coding;
+    plan_coding_attempts = attempts;
+  }
+
+let truncate_to bits bv = Bitvec.slice bv ~pos:0 ~len:bits
+
+type session = {
+  ses_g : Digraph.t;
+  ses_config : config;
+  ses_adversary : Adversary.t;
+  ses_faulty : Vset.t;
+  ses_total_n : int;
+  ses_plans : ((int * int * int) list * int list, graph_plan) Hashtbl.t;
+  mutable ses_gk : Digraph.t;
+  mutable ses_disputes : Params.dispute list;
+  mutable ses_dc_count : int;
+  mutable ses_next_k : int;
+  mutable ses_instances : instance_report list; (* reversed *)
+}
+
+let create_session ~g ~config ~adversary =
+  let { f; source; l_bits; _ } = config in
+  if l_bits < 1 then invalid_arg "Nab.create_session: l_bits must be positive";
+  if not (Digraph.mem_vertex g source) then invalid_arg "Nab.create_session: source absent";
+  if not (Connectivity.meets_requirement g ~f) then
+    invalid_arg "Nab.run: need n >= 3f+1 and connectivity >= 2f+1";
+  let faulty = adversary.Adversary.pick_faulty ~g ~source ~f in
+  if Vset.cardinal faulty > f then
+    invalid_arg "Nab.create_session: adversary picked too many nodes";
+  {
+    ses_g = g;
+    ses_config = config;
+    ses_adversary = adversary;
+    ses_faulty = faulty;
+    ses_total_n = Digraph.num_vertices g;
+    ses_plans = Hashtbl.create 4;
+    ses_gk = g;
+    ses_disputes = [];
+    ses_dc_count = 0;
+    ses_next_k = 1;
+    ses_instances = [];
+  }
+
+let session_graph ses = ses.ses_gk
+let session_disputes ses = ses.ses_disputes
+let session_dc_count ses = ses.ses_dc_count
+let session_faulty ses = ses.ses_faulty
+let session_instances ses = List.rev ses.ses_instances
+
+let session_broadcast ses input0 =
+  let { f; source; l_bits; m; seed; flag_backend } = ses.ses_config in
+  let config = ses.ses_config in
+  let adversary = ses.ses_adversary in
+  let faulty = ses.ses_faulty in
+  let total_n = ses.ses_total_n in
+  let k = ses.ses_next_k in
+    let input = Bitvec.pad_to input0 l_bits in
+    if Bitvec.length input <> l_bits then invalid_arg "Nab: input longer than L";
+    let report =
+      if not (Digraph.mem_vertex ses.ses_gk source) then begin
+        (* The source is provably faulty: agree on the default value. *)
+        {
+          k;
+          value_bits = l_bits;
+          gamma_k = 0;
+          rho_k = 0;
+          decisions = List.map (fun v -> (v, Bitvec.create l_bits)) (Digraph.vertices ses.ses_gk);
+          mismatch = false;
+          dc_run = false;
+          reduced_to_phase1 = false;
+          coding_attempts = 0;
+          wall_time = 0.0;
+          pipelined_time = 0.0;
+          phase_stats = [];
+          utilization = [];
+          new_disputes = [];
+        }
+      end
+      else begin
+        let plan =
+          match Hashtbl.find_opt ses.ses_plans (graph_key ses.ses_gk) with
+          | Some p -> p
+          | None ->
+              let p = make_plan ~config ~total_n ~disputes:ses.ses_disputes ses.ses_gk in
+              Hashtbl.add ses.ses_plans (graph_key ses.ses_gk) p;
+              p
+        in
+        let excluded = total_n - Digraph.num_vertices ses.ses_gk in
+        let f_eff = max 0 (f - excluded) in
+        let reduced = excluded >= f && f > 0 in
+        let value_bits = padded_bits ~l:l_bits ~rho:plan.plan_rho ~m in
+        let value = Bitvec.pad_to input value_bits in
+        let actx =
+          {
+            Adversary.instance = k;
+            gk = ses.ses_gk;
+            trees = plan.plan_trees;
+            coding = plan.plan_coding;
+            source;
+            f;
+            value_bits;
+            rng = Random.State.make [| seed; k; 0xadf |];
+          }
+        in
+        (* The simulator carries the full physical network: Appendix D runs
+           Broadcast_Default over the 2f+1-connectivity of the ORIGINAL
+           graph G (disputed links still physically exist; reliability comes
+           from node-disjoint-path majority, not from trusting them).
+           Phases 1 and 2.1 structurally restrict themselves to G_k. *)
+        let sim = Sim.create ses.ses_g ~bits:Packet.bits in
+        (* ---- Phase 1: unreliable broadcast over the tree packing ---- *)
+        let received =
+          Phase1.run ~sim ~phase:"phase1" ~trees:plan.plan_trees ~source ~value ~faulty
+            ~adversary:(adversary.Adversary.phase1 actx) ()
+        in
+        let sizes = Phase1.slice_sizes ~value_bits ~trees:plan.plan_gamma in
+        let assembled v =
+          if v = source then value else Phase1.assemble ~slice_sizes:sizes (received v)
+        in
+        if reduced then begin
+          (* All faulty nodes are excluded: Phase 1 alone is reliable. *)
+          {
+            k;
+            value_bits;
+            gamma_k = plan.plan_gamma;
+            rho_k = plan.plan_rho;
+            decisions =
+              List.map
+                (fun v -> (v, truncate_to l_bits (assembled v)))
+                (Digraph.vertices ses.ses_gk);
+            mismatch = false;
+            dc_run = false;
+            reduced_to_phase1 = true;
+            coding_attempts = plan.plan_coding_attempts;
+            wall_time = Sim.elapsed sim;
+            pipelined_time = Sim.pipelined_elapsed sim;
+            phase_stats = Sim.phase_stats sim;
+            utilization = Sim.utilization sim;
+            new_disputes = [];
+          }
+        end
+        else begin
+          (* ---- Phase 2, step 2.1: equality check ---- *)
+          let x_of v = Bitvec.to_symbols (assembled v) ~sym_bits:m in
+          let own_flags =
+            Equality_check.run ~sim ~graph:ses.ses_gk ~phase:"equality-check"
+              ~coding:plan.plan_coding ~values:x_of ~faulty
+              ~adversary:(adversary.Adversary.ec actx) ()
+          in
+          (* ---- Phase 2, step 2.2: broadcast the 1-bit flags ---- *)
+          let routing = Routing.build ses.ses_g ~f in
+          let flag_inputs =
+            List.map (fun (v, b) -> (v, Wire.Flag b)) own_flags
+          in
+          let n_k = Digraph.num_vertices ses.ses_gk in
+          let backend =
+            match flag_backend with
+            | `Phase_king when n_k > 4 * f_eff -> `Phase_king
+            | `Phase_king ->
+                Logs.warn (fun m ->
+                    m "phase-king needs n > 4f (n=%d, f=%d); falling back to EIG" n_k
+                      f_eff);
+                `Eig
+            | `Eig -> `Eig
+          in
+          let participants = Digraph.vertices ses.ses_gk in
+          let flag_decisions =
+            match backend with
+            | `Eig ->
+                Eig.broadcast_all ~sim ~nodes:participants ~phase:"flags" ~routing
+                  ~f:f_eff ~inputs:flag_inputs ~default:(Wire.Flag false) ~faulty
+                  ~adversary:(adversary.Adversary.flag_eig actx)
+                  ~reliable_hooks:(adversary.Adversary.reliable actx) ()
+            | `Phase_king ->
+                Phase_king.broadcast_all ~sim ~nodes:participants ~phase:"flags"
+                  ~routing ~f:f_eff ~inputs:flag_inputs ~default:(Wire.Flag false)
+                  ~faulty ~reliable_hooks:(adversary.Adversary.reliable actx) ()
+          in
+          (* Read the agreed flags from the lowest-id fault-free vantage
+             point (agreement makes every honest vantage identical; the test
+             suite checks this). *)
+          let honest_nodes =
+            List.filter (fun v -> not (Vset.mem v faulty)) (Digraph.vertices ses.ses_gk)
+          in
+          let vantage = List.hd honest_nodes in
+          let agreed_flag src =
+            match Hashtbl.find_opt flag_decisions (src, vantage) with
+            | Some (Wire.Flag b) -> b
+            | Some _ | None -> false
+          in
+          let flags = List.map (fun v -> (v, agreed_flag v)) (Digraph.vertices ses.ses_gk) in
+          let mismatch = List.exists snd flags in
+          if not mismatch then begin
+            {
+              k;
+              value_bits;
+              gamma_k = plan.plan_gamma;
+              rho_k = plan.plan_rho;
+              decisions =
+                List.map
+                  (fun v -> (v, truncate_to l_bits (assembled v)))
+                  (Digraph.vertices ses.ses_gk);
+              mismatch = false;
+              dc_run = false;
+              reduced_to_phase1 = false;
+              coding_attempts = plan.plan_coding_attempts;
+              wall_time = Sim.elapsed sim;
+              pipelined_time = Sim.pipelined_elapsed sim;
+              phase_stats = Sim.phase_stats sim;
+              utilization = Sim.utilization sim;
+              new_disputes = [];
+            }
+          end
+          else begin
+            (* ---- Phase 3: dispute control ---- *)
+            ses.ses_dc_count <- ses.ses_dc_count + 1;
+            let ctx =
+              {
+                Dispute.gk = ses.ses_gk;
+                total_n;
+                f = f_eff;
+                source;
+                trees = plan.plan_trees;
+                coding = plan.plan_coding;
+                value_bits;
+                flags;
+              }
+            in
+            let verdicts =
+              Dispute.run ~sim ~routing ~ctx ~faulty ~true_input:value
+                ~claims_adv:(adversary.Adversary.dc_claims actx)
+                ?input_adv:(adversary.Adversary.dc_input actx)
+                ~eig_adv:(adversary.Adversary.dc_eig actx) ()
+            in
+            let vantage_verdict = List.assoc vantage verdicts in
+            let new_disputes =
+              List.filter
+                (fun d -> not (List.mem d ses.ses_disputes))
+                vantage_verdict.Dispute.new_disputes
+            in
+            ses.ses_disputes <- List.sort compare (new_disputes @ ses.ses_disputes);
+            let report =
+              {
+                k;
+                value_bits;
+                gamma_k = plan.plan_gamma;
+                rho_k = plan.plan_rho;
+                decisions =
+                  List.map
+                    (fun (v, verdict) ->
+                      (v, truncate_to l_bits verdict.Dispute.output))
+                    verdicts;
+                mismatch = true;
+                dc_run = true;
+                reduced_to_phase1 = false;
+                coding_attempts = plan.plan_coding_attempts;
+                wall_time = Sim.elapsed sim;
+                pipelined_time = Sim.pipelined_elapsed sim;
+                phase_stats = Sim.phase_stats sim;
+                utilization = Sim.utilization sim;
+                new_disputes;
+              }
+            in
+            ses.ses_gk <- Params.apply_disputes ses.ses_gk ~total_n ~f ~disputes:ses.ses_disputes;
+            report
+          end
+        end
+      end
+    in
+  ses.ses_next_k <- k + 1;
+  ses.ses_instances <- report :: ses.ses_instances;
+  report
+
+let session_report ses =
+  let instances = session_instances ses in
+  let total_wall = List.fold_left (fun acc r -> acc +. r.wall_time) 0.0 instances in
+  let total_pipelined =
+    List.fold_left (fun acc r -> acc +. r.pipelined_time) 0.0 instances
+  in
+  let q = List.length instances in
+  let bits_total = float_of_int (ses.ses_config.l_bits * q) in
+  {
+    config = ses.ses_config;
+    adversary_name = ses.ses_adversary.Adversary.name;
+    faulty = ses.ses_faulty;
+    instances;
+    dc_count = ses.ses_dc_count;
+    disputes = ses.ses_disputes;
+    final_graph = ses.ses_gk;
+    total_wall;
+    total_pipelined;
+    throughput_wall = (if total_wall > 0.0 then bits_total /. total_wall else infinity);
+    throughput_pipelined =
+      (if total_pipelined > 0.0 then bits_total /. total_pipelined else infinity);
+  }
+
+let run ~g ~config ~adversary ~inputs ~q =
+  let ses = create_session ~g ~config ~adversary in
+  for k = 1 to q do
+    ignore (session_broadcast ses (inputs k))
+  done;
+  session_report ses
+
+let fault_free_agree report =
+  List.for_all
+    (fun inst ->
+      let honest =
+        List.filter (fun (v, _) -> not (Vset.mem v report.faulty)) inst.decisions
+      in
+      match honest with
+      | [] -> true
+      | (_, d0) :: rest -> List.for_all (fun (_, d) -> Bitvec.equal d d0) rest)
+    report.instances
+
+let valid_outputs report ~inputs =
+  List.for_all
+    (fun inst ->
+      if Vset.mem report.config.source report.faulty then true
+      else begin
+        let expected =
+          Bitvec.pad_to (inputs inst.k) report.config.l_bits
+        in
+        List.for_all
+          (fun (v, d) -> Vset.mem v report.faulty || Bitvec.equal d expected)
+          inst.decisions
+      end)
+    report.instances

@@ -1,0 +1,102 @@
+(** The NAB driver: repeated instances of the three-phase protocol with
+    graph evolution (Section 2). Instance k runs on G_k; when dispute control
+    fires it computes G_(k+1) by edge/vertex exclusion, otherwise
+    G_(k+1) = G_k. The driver is an omniscient harness: it executes honest
+    nodes faithfully, consults the adversary's hooks for faulty ones, and
+    reads agreement-guaranteed quantities (e.g. the step-2.2 flags) from one
+    fault-free vantage point — justified by the agreement properties that the
+    tests verify directly. *)
+
+open Nab_graph
+open Nab_net
+
+type config = {
+  f : int;
+  source : int;
+  l_bits : int;  (** requested L; padded per instance to the divisibility the paper assumes *)
+  m : int;  (** equality-check field degree (symbol width); L' is a multiple of rho * m *)
+  seed : int;
+  flag_backend : [ `Eig | `Phase_king ];  (** step-2.2 Broadcast_Default backend *)
+}
+
+val default_config : config
+(** f = 1, source = 1, L = 1024, m = 16, seed = 7, EIG flags. *)
+
+type instance_report = {
+  k : int;
+  value_bits : int;  (** padded L' *)
+  gamma_k : int;
+  rho_k : int;
+  decisions : (int * Bitvec.t) list;  (** per node of G_k, truncated to L *)
+  mismatch : bool;  (** some node announced MISMATCH in step 2.2 *)
+  dc_run : bool;
+  reduced_to_phase1 : bool;  (** the paper's >= f exclusions special case *)
+  coding_attempts : int;
+  wall_time : float;
+  pipelined_time : float;
+  phase_stats : Sim.phase_stat list;
+  utilization : ((int * int) * float) list;
+      (** per-link bits/(capacity x wall) over the whole instance *)
+  new_disputes : Params.dispute list;
+}
+
+type run_report = {
+  config : config;
+  adversary_name : string;
+  faulty : Vset.t;
+  instances : instance_report list;
+  dc_count : int;
+  disputes : Params.dispute list;  (** accumulated *)
+  final_graph : Digraph.t;
+  total_wall : float;
+  total_pipelined : float;
+  throughput_wall : float;  (** L * Q / total wall time *)
+  throughput_pipelined : float;  (** L * Q / total pipelined time — the paper's T *)
+}
+
+type session
+(** A long-lived broadcast session: the accumulated dispute state, excluded
+    nodes and per-graph protocol plans (trees, verified coding matrices)
+    that the paper's repeated executions carry from instance to instance.
+    This is the primary API for applications that produce values over time;
+    {!run} is the batch convenience wrapper. *)
+
+val create_session :
+  g:Digraph.t -> config:config -> adversary:Adversary.t -> session
+(** Validates the network (n >= 3f+1, connectivity >= 2f+1, source present)
+    and fixes the corrupted node set for the whole session. *)
+
+val session_broadcast : session -> Bitvec.t -> instance_report
+(** Run the next NAB instance on the current G_k with the given L-bit input
+    (shorter inputs are zero-padded; longer ones rejected). Updates the
+    session's graph/dispute state when dispute control runs. *)
+
+val session_graph : session -> Digraph.t
+(** The current G_k. *)
+
+val session_disputes : session -> Params.dispute list
+val session_dc_count : session -> int
+val session_faulty : session -> Vset.t
+val session_instances : session -> instance_report list
+
+val session_report : session -> run_report
+(** Aggregate everything broadcast so far. *)
+
+val run :
+  g:Digraph.t ->
+  config:config ->
+  adversary:Adversary.t ->
+  inputs:(int -> Bitvec.t) ->
+  q:int ->
+  run_report
+(** Execute [q] instances: [create_session], then [session_broadcast] on
+    [inputs k] for k = 1..q (1-based), then [session_report]. Raises
+    [Invalid_argument] when the network does not satisfy n >= 3f+1 and
+    connectivity >= 2f+1, or the source is absent. *)
+
+val fault_free_agree : run_report -> bool
+(** Every instance: all fault-free nodes decided identical values. *)
+
+val valid_outputs : run_report -> inputs:(int -> Bitvec.t) -> bool
+(** Every instance with a fault-free source: fault-free decisions equal the
+    input (validity). Vacuously true for instances whose source is faulty. *)

@@ -1,0 +1,204 @@
+open Nab_graph
+
+type dispute = int * int
+
+let norm_dispute a b =
+  if a = b then invalid_arg "Params.norm_dispute: self-dispute";
+  if a < b then (a, b) else (b, a)
+
+let gamma_k g ~source = Maxflow.broadcast_mincut g ~src:source
+
+(* All size-k subsets of a list, lexicographic. *)
+let rec subsets_of_size k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest) @ subsets_of_size k rest
+
+(* All subsets of size <= k. *)
+let subsets_up_to k xs =
+  List.concat_map (fun i -> subsets_of_size i xs) (List.init (k + 1) Fun.id)
+
+let omega_k g ~total_n ~f ~disputes =
+  let verts = Digraph.vertices g in
+  let size = total_n - f in
+  let disputed_inside subset =
+    List.exists (fun (a, b) -> List.mem a subset && List.mem b subset) disputes
+  in
+  subsets_of_size size verts
+  |> List.filter (fun s -> not (disputed_inside s))
+  |> List.map Vset.of_list
+
+let u_k g ~total_n ~f ~disputes =
+  let omega = omega_k g ~total_n ~f ~disputes in
+  if omega = [] then invalid_arg "Params.u_k: Omega_k is empty";
+  List.fold_left
+    (fun acc h ->
+      let sub = Ugraph.of_digraph (Digraph.induced g h) in
+      min acc (Stoer_wagner.min_cut_value sub))
+    max_int omega
+
+let rho_k g ~total_n ~f ~disputes = u_k g ~total_n ~f ~disputes / 2
+
+(* --- covers of a dispute set --- *)
+
+let covers verts ~f ~disputes =
+  let is_cover s = List.for_all (fun (a, b) -> List.mem a s || List.mem b s) disputes in
+  List.filter is_cover (subsets_up_to f verts)
+
+let necessarily_faulty vset ~f ~disputes =
+  let verts = Vset.elements vset in
+  match covers verts ~f ~disputes with
+  | [] -> invalid_arg "Params.necessarily_faulty: disputes not explainable by <= f nodes"
+  | first :: rest ->
+      List.fold_left
+        (fun acc c -> Vset.inter acc (Vset.of_list c))
+        (Vset.of_list first) rest
+
+let apply_disputes g ~total_n:_ ~f ~disputes =
+  let g' = List.fold_left (fun g (a, b) -> Digraph.remove_pair g a b) g disputes in
+  (* Covers may use vertices already excluded in earlier instances (their
+     accumulated disputes are still on the books); restricting covers to the
+     surviving vertices could wrongly implicate honest nodes. *)
+  let participants =
+    List.fold_left
+      (fun acc (a, b) -> Vset.add a (Vset.add b acc))
+      (Digraph.vertex_set g) disputes
+  in
+  let faulty = necessarily_faulty participants ~f ~disputes in
+  Vset.fold (fun v g -> Digraph.remove_vertex g v) faulty g'
+
+(* --- Gamma and gamma* (Appendix E) --- *)
+
+let adjacent_pairs g =
+  Digraph.fold_edges
+    (fun s d _ acc ->
+      let p = norm_dispute s d in
+      if List.mem p acc then acc else p :: acc)
+    g []
+  |> List.sort compare
+
+let psi_graphs g ~source ~f =
+  if not (Digraph.mem_vertex g source) then invalid_arg "Params.psi_graphs: source absent";
+  let verts = Digraph.vertices g in
+  let n = List.length verts in
+  let fault_sets = List.filter (fun s -> s <> []) (subsets_up_to f verts) in
+  (* Enumerate every explainable dispute set D: D is a subset of the pairs
+     incident to some fault set F with |F| <= f. Deduplicate on D, then on
+     the resulting graph. *)
+  let seen_d = Hashtbl.create 1024 in
+  let seen_psi = Hashtbl.create 256 in
+  let results = ref [ g ] in
+  Hashtbl.add seen_psi (Digraph.edges g, Digraph.vertices g) ();
+  let consider_d d =
+    if not (Hashtbl.mem seen_d d) then begin
+      Hashtbl.add seen_d d ();
+      if d <> [] then begin
+        let removed = necessarily_faulty (Digraph.vertex_set g) ~f ~disputes:d in
+        if not (Vset.mem source removed) then begin
+          let psi = apply_disputes g ~total_n:n ~f ~disputes:d in
+          let key = (Digraph.edges psi, Digraph.vertices psi) in
+          if not (Hashtbl.mem seen_psi key) then begin
+            Hashtbl.add seen_psi key ();
+            results := psi :: !results
+          end
+        end
+      end
+    end
+  in
+  List.iter
+    (fun fset ->
+      let incident =
+        List.filter (fun (a, b) -> List.mem a fset || List.mem b fset) (adjacent_pairs g)
+      in
+      let pairs = Array.of_list incident in
+      let np = Array.length pairs in
+      if np > 20 then
+        invalid_arg
+          "Params.psi_graphs: too many incident pairs for exact Gamma enumeration";
+      for mask = 1 to (1 lsl np) - 1 do
+        let d = ref [] in
+        for i = np - 1 downto 0 do
+          if mask land (1 lsl i) <> 0 then d := pairs.(i) :: !d
+        done;
+        consider_d !d
+      done)
+    fault_sets;
+  List.rev !results
+
+let gamma_star g ~source ~f =
+  (* gamma of a Psi graph only counts vertices still present; a Psi that has
+     disconnected some vertex from the source yields gamma 0, which the
+     definition keeps (the paper's min is over reachable G_k, all of which
+     keep MINCUT >= 1 to surviving vertices; unreachable-vertex graphs are
+     not reachable executions because such vertices would have been excluded
+     as faulty — so we skip gamma = 0 graphs, keeping the minimum over
+     graphs where broadcast is still possible). *)
+  let candidates = psi_graphs g ~source ~f in
+  let result =
+    List.fold_left
+      (fun acc psi ->
+        let gam = gamma_k psi ~source in
+        if gam > 0 then min acc gam else acc)
+      max_int candidates
+  in
+  if result = max_int then 0 else result
+
+let gamma_star_upper g ~source ~f ~samples ~seed =
+  if not (Digraph.mem_vertex g source) then invalid_arg "Params.gamma_star_upper";
+  let verts = Digraph.vertices g in
+  let n = List.length verts in
+  let st = Random.State.make [| seed; 0x6a77a |] in
+  let best = ref (gamma_k g ~source) in
+  let consider d =
+    if d <> [] then begin
+      match covers verts ~f ~disputes:d with
+      | [] -> () (* unexplainable: not a reachable configuration *)
+      | _ ->
+          let removed = necessarily_faulty (Digraph.vertex_set g) ~f ~disputes:d in
+          if not (Vset.mem source removed) then begin
+            let psi = apply_disputes g ~total_n:n ~f ~disputes:d in
+            let gam = gamma_k psi ~source in
+            if gam > 0 && gam < !best then best := gam
+          end
+    end
+  in
+  List.iter
+    (fun fset ->
+      let incident =
+        List.filter (fun (a, b) -> List.mem a fset || List.mem b fset) (adjacent_pairs g)
+      in
+      consider incident;
+      for _ = 1 to samples do
+        consider (List.filter (fun _ -> Random.State.bool st) incident)
+      done)
+    (List.filter (fun s -> s <> []) (subsets_up_to f verts));
+  !best
+
+let rho_star g ~f =
+  rho_k g ~total_n:(Digraph.num_vertices g) ~f ~disputes:[]
+
+type star = {
+  gamma_star : int;
+  rho_star : int;
+  throughput_lb : float;
+  capacity_ub : float;
+  ratio : float;
+  half_capacity_condition : bool;
+}
+
+let stars g ~source ~f =
+  let gs = gamma_star g ~source ~f in
+  let rs = rho_star g ~f in
+  if rs = 0 then invalid_arg "Params.stars: rho* = 0 (U_1 < 2), equality check impossible";
+  let gsf = float_of_int gs and rsf = float_of_int rs in
+  let throughput_lb = gsf *. rsf /. (gsf +. rsf) in
+  let capacity_ub = Float.min gsf (2.0 *. rsf) in
+  {
+    gamma_star = gs;
+    rho_star = rs;
+    throughput_lb;
+    capacity_ub;
+    ratio = throughput_lb /. capacity_ub;
+    half_capacity_condition = gs <= rs;
+  }

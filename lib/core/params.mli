@@ -1,0 +1,76 @@
+(** The network parameters driving NAB: per-instance gamma_k, Omega_k, U_k,
+    rho_k (Sections 2-3) and the execution-independent worst-case gamma*,
+    rho* with the Theorem 2/3 bounds (Section 5, Appendices E-G).
+
+    Disputes are unordered node pairs, normalised with the smaller id first.
+    [total_n] is the paper's n — the node count of the {e original} network
+    G_1, which stays fixed as vertices get excluded from G_k. *)
+
+open Nab_graph
+
+type dispute = int * int
+
+val norm_dispute : int -> int -> dispute
+
+val gamma_k : Digraph.t -> source:int -> int
+(** gamma_k = min over vertices j of MINCUT(G_k, source, j): the unreliable
+    broadcast rate of Phase 1. *)
+
+val omega_k : Digraph.t -> total_n:int -> f:int -> disputes:dispute list -> Vset.t list
+(** Omega_k: every (total_n - f)-subset of the vertices of G_k with no two
+    members in dispute. Non-empty whenever the fault-free nodes are all
+    present (the paper's invariant). Sorted lexicographically. *)
+
+val u_k : Digraph.t -> total_n:int -> f:int -> disputes:dispute list -> int
+(** U_k = min over H in Omega_k of the global min cut of \bar{H} (undirected
+    version of the induced subgraph). Raises [Invalid_argument] when Omega_k
+    is empty. *)
+
+val rho_k : Digraph.t -> total_n:int -> f:int -> disputes:dispute list -> int
+(** rho_k = floor(U_k / 2), the largest parameter permitted by Theorem 1 and
+    the one minimising equality-check time L / rho_k. *)
+
+type star = {
+  gamma_star : int;  (** min gamma over all graphs in Gamma (Appendix E) *)
+  rho_star : int;  (** U_1 / 2 (Section 5.1) *)
+  throughput_lb : float;  (** T_NAB = gamma'rho' / (gamma' + rho'), eq. (6) *)
+  capacity_ub : float;  (** min(gamma', 2 rho'), Theorem 2 *)
+  ratio : float;  (** throughput_lb / capacity_ub; >= 1/3 by Theorem 3 *)
+  half_capacity_condition : bool;  (** gamma* <= rho*: the ratio is >= 1/2 *)
+}
+
+val stars : Digraph.t -> source:int -> f:int -> star
+(** Compute gamma*, rho* and the Theorem 2/3 bounds for a network.
+
+    gamma* enumerates the set Gamma of Appendix E exactly: every explainable
+    dispute set D (one coverable by some F with |F| <= f), the vertices
+    removed being those in every <= f cover of D, restricted to graphs that
+    retain the source. This enumeration is exponential in the number of
+    edges incident to a fault set; it is intended for the paper-scale
+    networks used in tests and benchmarks (n up to ~8 with f <= 2). *)
+
+val gamma_star : Digraph.t -> source:int -> f:int -> int
+val rho_star : Digraph.t -> f:int -> int
+
+val gamma_star_upper : Digraph.t -> source:int -> f:int -> samples:int -> seed:int -> int
+(** A sampled upper bound on gamma' for networks too large for the exact
+    Gamma enumeration: evaluates, for each fault set F, the maximal dispute
+    configuration (every pair incident to F) plus [samples] random subsets.
+    Always >= {!gamma_star}; equal on every graph the test suite compares
+    them on. Polynomial except for the C(n, <=f) fault-set enumeration. *)
+
+val psi_graphs : Digraph.t -> source:int -> f:int -> Digraph.t list
+(** The distinct graphs of Gamma (deduplicated), including G itself. Exposed
+    for tests; {!gamma_star} is their minimum gamma. *)
+
+val apply_disputes : Digraph.t -> total_n:int -> f:int -> disputes:dispute list -> Digraph.t
+(** The graph-evolution step of Phase 3 (DC4): remove the edges of every
+    disputed pair, then remove the vertices present in every <= f cover of
+    the dispute set (the necessarily-faulty nodes). *)
+
+val necessarily_faulty : Vset.t -> f:int -> disputes:dispute list -> Vset.t
+(** Vertices contained in every subset of at most f vertices that covers all
+    disputes — provably faulty by the pigeonhole argument of DC4. A vertex
+    in dispute with f+1 distinct peers is always in this set. Raises
+    [Invalid_argument] if no cover exists (more than f provable faults:
+    impossible under the fault model). *)

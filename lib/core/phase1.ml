@@ -1,0 +1,168 @@
+open Nab_graph
+open Nab_net
+
+let proto = "p1"
+let tree_proto t = Printf.sprintf "%s:%d" proto t
+
+type adversary = me:int -> tree:int -> dst:int -> Wire.payload -> Wire.payload option
+
+let honest ~me:_ ~tree:_ ~dst:_ p = Some p
+
+let slice_payload bv =
+  let bits = Bitvec.length bv in
+  let padded_bits = (bits + 7) / 8 * 8 in
+  Wire.Value { bits; data = Bitvec.to_symbols (Bitvec.pad_to bv padded_bits) ~sym_bits:8 }
+
+let payload_slice ~slice_bits = function
+  | Some (Wire.Value { bits; data })
+    when bits = slice_bits && Array.length data = (bits + 7) / 8
+         && Array.for_all (fun b -> b >= 0 && b < 256) data ->
+      Bitvec.slice (Bitvec.of_symbols ~sym_bits:8 data) ~pos:0 ~len:bits
+  | Some _ | None -> Bitvec.create slice_bits
+
+let expected_forward ~slice_bits ~received =
+  slice_payload (payload_slice ~slice_bits received)
+
+let slice_sizes ~value_bits ~trees = Bitvec.balanced_sizes ~bits:value_bits ~parts:trees
+
+let assemble ~slice_sizes per_tree =
+  if Array.length slice_sizes <> Array.length per_tree then
+    invalid_arg "Phase1.assemble: size/tree count mismatch";
+  Bitvec.concat
+    (List.mapi
+       (fun t p -> payload_slice ~slice_bits:slice_sizes.(t) p)
+       (Array.to_list per_tree))
+
+let run ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest) () =
+  let g = Sim.graph sim in
+  let verts = Digraph.vertices g in
+  let n_trees = List.length trees in
+  if n_trees = 0 then invalid_arg "Phase1.run: no trees";
+  let sizes = slice_sizes ~value_bits:(Bitvec.length value) ~trees:n_trees in
+  let slices = Array.of_list (Bitvec.split_balanced value ~parts:n_trees) in
+  let trees = Array.of_list trees in
+  let depth_of = Array.map (fun t -> Arborescence.vertices_by_depth t ~root:source) trees in
+  let max_depth =
+    Array.fold_left
+      (fun acc by_depth -> List.fold_left (fun acc (_, d) -> max acc d) acc by_depth)
+      0 depth_of
+  in
+  (* received.(tree) : node -> payload option *)
+  let received = Array.init n_trees (fun _ -> Hashtbl.create 8) in
+  Array.iteri
+    (fun t tbl -> Hashtbl.replace tbl source (slice_payload slices.(t)))
+    received;
+  for round = 1 to max_depth do
+    let outbox v =
+      List.concat
+        (List.init n_trees (fun t ->
+             let at_depth =
+               List.exists (fun (w, d) -> w = v && d = round - 1) depth_of.(t)
+             in
+             if not at_depth then []
+             else begin
+               let kids = Arborescence.children trees.(t) v in
+               let payload =
+                 expected_forward ~slice_bits:sizes.(t)
+                   ~received:(Hashtbl.find_opt received.(t) v)
+               in
+               List.filter_map
+                 (fun dst ->
+                   let sent =
+                     if Vset.mem v faulty then adversary ~me:v ~tree:t ~dst payload
+                     else Some payload
+                   in
+                   Option.map
+                     (fun p ->
+                       (dst, Packet.direct ~proto:(tree_proto t) ~origin:v ~dst p))
+                     sent)
+                 kids
+             end))
+    in
+    let inbox = Sim.round sim ~phase outbox in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (sender, (pkt : Packet.t)) ->
+            (* Accept a slice only from the tree parent. *)
+            List.iteri
+              (fun t tbl ->
+                if
+                  pkt.proto = tree_proto t
+                  && Arborescence.parent trees.(t) v = Some sender
+                  && not (Hashtbl.mem tbl v)
+                then Hashtbl.replace tbl v pkt.payload)
+              (Array.to_list received))
+          (inbox v))
+      verts
+  done;
+  fun v -> Array.map (fun tbl -> Hashtbl.find_opt tbl v) received
+
+let run_flood ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
+    ?max_rounds () =
+  let g = Sim.graph sim in
+  let verts = Digraph.vertices g in
+  let n_trees = List.length trees in
+  if n_trees = 0 then invalid_arg "Phase1.run_flood: no trees";
+  let sizes = slice_sizes ~value_bits:(Bitvec.length value) ~trees:n_trees in
+  let slices = Array.of_list (Bitvec.split_balanced value ~parts:n_trees) in
+  let trees = Array.of_list trees in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> (4 * List.length verts) + 8
+  in
+  let received = Array.init n_trees (fun _ -> Hashtbl.create 8) in
+  Array.iteri (fun t tbl -> Hashtbl.replace tbl source (slice_payload slices.(t))) received;
+  (* Per tree, the set of nodes that still owe their children a forward. *)
+  let owes = Array.init n_trees (fun _ -> Hashtbl.create 8) in
+  Array.iter (fun tbl -> Hashtbl.replace tbl source ()) owes;
+  let complete () =
+    List.for_all
+      (fun v -> Array.for_all (fun tbl -> Hashtbl.mem tbl v) received)
+      verts
+  in
+  let round = ref 0 in
+  while (not (complete ())) && !round < max_rounds do
+    incr round;
+    let outbox v =
+      List.concat
+        (List.init n_trees (fun t ->
+             if not (Hashtbl.mem owes.(t) v) then []
+             else begin
+               Hashtbl.remove owes.(t) v;
+               let payload =
+                 expected_forward ~slice_bits:sizes.(t)
+                   ~received:(Hashtbl.find_opt received.(t) v)
+               in
+               List.filter_map
+                 (fun dst ->
+                   let sent =
+                     if Vset.mem v faulty then adversary ~me:v ~tree:t ~dst payload
+                     else Some payload
+                   in
+                   Option.map
+                     (fun p -> (dst, Packet.direct ~proto:(tree_proto t) ~origin:v ~dst p))
+                     sent)
+                 (Arborescence.children trees.(t) v)
+             end))
+    in
+    let inbox = Sim.round sim ~phase outbox in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (sender, (pkt : Packet.t)) ->
+            Array.iteri
+              (fun t tbl ->
+                if
+                  pkt.Packet.proto = tree_proto t
+                  && Arborescence.parent trees.(t) v = Some sender
+                  && not (Hashtbl.mem tbl v)
+                then begin
+                  Hashtbl.replace tbl v pkt.Packet.payload;
+                  if Arborescence.children trees.(t) v <> [] then
+                    Hashtbl.replace owes.(t) v ()
+                end)
+              received)
+          (inbox v))
+      verts
+  done;
+  fun v -> Array.map (fun tbl -> Hashtbl.find_opt tbl v) received

@@ -1,0 +1,56 @@
+open Nab_net
+
+let pp_instance fmt (i : Nab.instance_report) =
+  Format.fprintf fmt "k=%-3d gamma=%-3d rho=%-3d L'=%-6d %s wall=%-10.2f pipe=%-10.2f %s"
+    i.Nab.k i.Nab.gamma_k i.Nab.rho_k i.Nab.value_bits
+    (if i.Nab.mismatch then "MISMATCH" else "clean   ")
+    i.Nab.wall_time i.Nab.pipelined_time
+    (if i.Nab.dc_run then
+       Printf.sprintf "DC[%s]"
+         (String.concat ","
+            (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) i.Nab.new_disputes))
+     else if i.Nab.reduced_to_phase1 then "phase1-only"
+     else "")
+
+let pp_phase_breakdown fmt (i : Nab.instance_report) =
+  Format.fprintf fmt "@[<v>%-18s %6s %12s %12s %12s@," "phase" "rounds" "wall"
+    "bottleneck" "bits";
+  List.iter
+    (fun (s : Sim.phase_stat) ->
+      Format.fprintf fmt "%-18s %6d %12.2f %12.2f %12d@," s.Sim.phase s.Sim.rounds
+        s.Sim.wall s.Sim.bottleneck s.Sim.bits_total)
+    i.Nab.phase_stats;
+  (match i.Nab.utilization with
+  | [] -> ()
+  | links ->
+      let busiest =
+        List.sort (fun (_, a) (_, b) -> compare b a) links
+        |> List.filteri (fun idx _ -> idx < 5)
+      in
+      Format.fprintf fmt "busiest links:";
+      List.iter
+        (fun ((s, d), u) -> Format.fprintf fmt " %d->%d %.0f%%" s d (100.0 *. u))
+        busiest;
+      Format.fprintf fmt "@,");
+  Format.fprintf fmt "@]"
+
+let pp_run fmt (r : Nab.run_report) =
+  Format.fprintf fmt "@[<v>adversary %s, faulty %a, f = %d, L = %d@,@,"
+    r.Nab.adversary_name Nab_graph.Vset.pp r.Nab.faulty r.Nab.config.Nab.f
+    r.Nab.config.Nab.l_bits;
+  List.iter (fun i -> Format.fprintf fmt "%a@," pp_instance i) r.Nab.instances;
+  Format.fprintf fmt
+    "@,dispute controls: %d (budget f(f+1) = %d), accumulated disputes: %d@,"
+    r.Nab.dc_count
+    (r.Nab.config.Nab.f * (r.Nab.config.Nab.f + 1))
+    (List.length r.Nab.disputes);
+  Format.fprintf fmt "throughput: %.3f wall, %.3f pipelined (bits/time-unit)@]@."
+    r.Nab.throughput_wall r.Nab.throughput_pipelined
+
+let summary_line (r : Nab.run_report) =
+  Printf.sprintf "%s: %d instances, %d DCs, %d disputes, thpt %.3f/%.3f"
+    r.Nab.adversary_name
+    (List.length r.Nab.instances)
+    r.Nab.dc_count
+    (List.length r.Nab.disputes)
+    r.Nab.throughput_wall r.Nab.throughput_pipelined

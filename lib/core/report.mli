@@ -1,0 +1,15 @@
+(** Human-readable rendering of NAB run reports: per-instance rows, the
+    per-phase time/bit breakdown, and the run summary. Shared by the CLI
+    and the examples. *)
+
+val pp_instance : Format.formatter -> Nab.instance_report -> unit
+(** One line: k, gamma/rho, flags, timing, dispute outcome. *)
+
+val pp_phase_breakdown : Format.formatter -> Nab.instance_report -> unit
+(** The per-phase table (rounds, wall, bottleneck, bits). *)
+
+val pp_run : Format.formatter -> Nab.run_report -> unit
+(** Full report: header, instance table, totals, throughput. *)
+
+val summary_line : Nab.run_report -> string
+(** Compact one-liner: adversary, agreement-relevant counters, throughput. *)

@@ -1,0 +1,180 @@
+open Nab_field
+open Nab_matrix
+open Nab_graph
+open Nab_net
+
+type result = {
+  decoded : (int * Bitvec.t option) list;
+  rounds : int;
+  all_decoded : bool;
+  wall_time : float;
+  payload_bits : int;
+  header_bits : int;
+}
+
+(* A coded packet: gamma coefficients plus the combined payload symbols,
+   all over GF(2^m). On the wire both travel as one Coded vector. *)
+type coded = { coeffs : int array; payload : int array }
+
+let proto = "rlnc"
+
+let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
+  let g = Sim.graph sim in
+  let verts = Digraph.vertices g in
+  let n = List.length verts in
+  let l = Bitvec.length value in
+  if gamma < 1 then invalid_arg "Rlnc.broadcast: gamma must be positive";
+  if l <= 0 || l mod (gamma * m) <> 0 then
+    invalid_arg "Rlnc.broadcast: value length must be a positive multiple of gamma * m";
+  let fld = Gf2p.create m in
+  let st = Random.State.make [| seed; 0x12a9c; gamma; m |] in
+  let max_rounds = match max_rounds with Some r -> r | None -> 4 * (n + gamma) in
+  (* The generation: gamma source symbols, each a row of payload length
+     l / (gamma * m) sub-symbols. *)
+  let payload_syms = l / (gamma * m) in
+  let slices = Array.of_list (Bitvec.split value ~parts:gamma) in
+  let source_rows =
+    Array.map (fun s -> Bitvec.to_symbols s ~sym_bits:m) slices
+  in
+  (* Per-node buffer of innovative packets (kept in echelon form over the
+     coefficient part so rank queries are O(1)). *)
+  let buffers : (int, coded list ref) Hashtbl.t = Hashtbl.create n in
+  List.iter (fun v -> Hashtbl.replace buffers v (ref [])) verts;
+  let rank v = List.length !(Hashtbl.find buffers v) in
+  let lead c =
+    let rec go i =
+      if i = Array.length c then None else if c.(i) <> 0 then Some (i, c.(i)) else go (i + 1)
+    in
+    go 0
+  in
+  (* Insert with on-line Gaussian elimination. Buffer rows keep pairwise
+     distinct pivot columns, so rank = length and the coefficient matrix of
+     a full-rank buffer is always invertible. Returns true if innovative. *)
+  let insert v pkt =
+    let buf = Hashtbl.find buffers v in
+    let pkt = { coeffs = Array.copy pkt.coeffs; payload = Array.copy pkt.payload } in
+    let subtract factor (row : coded) =
+      Array.iteri
+        (fun k c -> pkt.coeffs.(k) <- Gf2p.sub fld pkt.coeffs.(k) (Gf2p.mul fld factor c))
+        row.coeffs;
+      Array.iteri
+        (fun k p -> pkt.payload.(k) <- Gf2p.sub fld pkt.payload.(k) (Gf2p.mul fld factor p))
+        row.payload
+    in
+    let rec go () =
+      match lead pkt.coeffs with
+      | None -> false
+      | Some (i, x) -> (
+          let same_pivot row =
+            match lead row.coeffs with Some (j, _) -> j = i | None -> false
+          in
+          match List.find_opt same_pivot !buf with
+          | None ->
+              buf := pkt :: !buf;
+              true
+          | Some row ->
+              let _, y = Option.get (lead row.coeffs) in
+              subtract (Gf2p.div fld x y) row;
+              go ())
+    in
+    go ()
+  in
+  (* Random combination of a node's knowledge space. The source combines the
+     original generation directly. *)
+  let combine v =
+    let rows =
+      if v = source then
+        Array.to_list
+          (Array.mapi
+             (fun i row ->
+               let coeffs = Array.make gamma 0 in
+               coeffs.(i) <- 1;
+               { coeffs; payload = row })
+             source_rows)
+      else !(Hashtbl.find buffers v)
+    in
+    match rows with
+    | [] -> None
+    | _ ->
+        let coeffs = Array.make gamma 0 in
+        let payload = Array.make payload_syms 0 in
+        List.iter
+          (fun row ->
+            let a = Gf2p.random fld st in
+            if a <> 0 then begin
+              Array.iteri
+                (fun k c -> coeffs.(k) <- Gf2p.add fld coeffs.(k) (Gf2p.mul fld a c))
+                row.coeffs;
+              Array.iteri
+                (fun k p -> payload.(k) <- Gf2p.add fld payload.(k) (Gf2p.mul fld a p))
+                row.payload
+            end)
+          rows;
+        if Array.for_all (( = ) 0) coeffs then None else Some { coeffs; payload }
+  in
+  let header_bits = ref 0 in
+  let payload_bits = ref 0 in
+  let rounds = ref 0 in
+  let everyone_done () = List.for_all (fun v -> v = source || rank v = gamma) verts in
+  while (not (everyone_done ())) && !rounds < max_rounds do
+    incr rounds;
+    let outbox v =
+      if v <> source && rank v = 0 then []
+      else
+        List.concat_map
+          (fun (dst, cap) ->
+            List.filter_map
+              (fun _ ->
+                match combine v with
+                | None -> None
+                | Some pkt ->
+                    header_bits := !header_bits + (gamma * m);
+                    payload_bits := !payload_bits + (payload_syms * m);
+                    let data = Array.append pkt.coeffs pkt.payload in
+                    Some (dst, Packet.direct ~proto ~origin:v ~dst (Wire.Coded { sym_bits = m; data })))
+              (List.init cap Fun.id))
+          (Digraph.out_edges g v)
+    in
+    let inbox = Sim.round sim ~phase outbox in
+    List.iter
+      (fun v ->
+        if v <> source then
+          List.iter
+            (fun (_, (pkt : Packet.t)) ->
+              match pkt.Packet.payload with
+              | Wire.Coded { sym_bits; data }
+                when sym_bits = m && Array.length data = gamma + payload_syms ->
+                  let coeffs = Array.sub data 0 gamma in
+                  let payload = Array.sub data gamma payload_syms in
+                  ignore (insert v { coeffs; payload })
+              | _ -> ())
+            (inbox v))
+      verts
+  done;
+  (* Decode: solve coeffs * X = payloads. *)
+  let decode v =
+    if v = source then Some value
+    else if rank v < gamma then None
+    else begin
+      let rows = !(Hashtbl.find buffers v) in
+      let cmat = Matrix.of_arrays (Array.of_list (List.map (fun r -> r.coeffs) rows)) in
+      let pmat = Matrix.of_arrays (Array.of_list (List.map (fun r -> r.payload) rows)) in
+      match Gauss.inverse fld cmat with
+      | None -> None
+      | Some ci ->
+          let x = Matrix.mul fld ci pmat in
+          let slices =
+            List.init gamma (fun i -> Bitvec.of_symbols ~sym_bits:m (Matrix.row x i))
+          in
+          Some (Bitvec.concat slices)
+    end
+  in
+  let decoded = List.map (fun v -> (v, decode v)) verts in
+  {
+    decoded;
+    rounds = !rounds;
+    all_decoded = List.for_all (fun (_, d) -> d <> None) decoded;
+    wall_time = Sim.elapsed sim;
+    payload_bits = !payload_bits;
+    header_bits = !header_bits;
+  }

@@ -1,0 +1,41 @@
+(** Module-level view of a binary extension field, for functor-style clients
+    (e.g. fixed-field matrix code). Most runtime code uses {!Gf2p.t} values
+    directly because the field degree [m = L / rho] is chosen dynamically. *)
+
+module type S = sig
+  val field : Gf2p.t
+
+  type t = int
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val inv : t -> t
+  val div : t -> t -> t
+  val pow : t -> int -> t
+  val random : Random.State.t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : sig
+  val degree : int
+end) : S = struct
+  let field = Gf2p.create P.degree
+
+  type t = int
+
+  let zero = Gf2p.zero
+  let one = Gf2p.one
+  let add = Gf2p.add field
+  let sub = Gf2p.sub field
+  let mul = Gf2p.mul field
+  let inv = Gf2p.inv field
+  let div = Gf2p.div field
+  let pow = Gf2p.pow field
+  let random st = Gf2p.random field st
+  let equal = Int.equal
+  let pp = Gf2p.pp field
+end

@@ -1,0 +1,31 @@
+let field = Gf2p.create_with_poly ~m:8 ~poly:0x11B
+let gen = Gf2p.generator field
+
+let exp_table = Array.make 510 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for k = 0 to 254 do
+    exp_table.(k) <- !x;
+    exp_table.(k + 255) <- !x;
+    log_table.(!x) <- k;
+    x := Gf2p.mul field !x gen
+  done
+
+let add a b = a lxor b
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero else exp_table.(255 - log_table.(a))
+
+let div a b = mul a (inv b)
+
+let pow a k =
+  if a = 0 then if k = 0 then 1 else 0
+  else exp_table.(log_table.(a) * k mod 255)
+
+let log a = if a = 0 then raise Division_by_zero else log_table.(a)
+let exp k = exp_table.(k mod 255)

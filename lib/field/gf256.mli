@@ -1,0 +1,21 @@
+(** Table-accelerated GF(2^8) with the AES reduction polynomial. Functionally
+    identical to [Gf2p.create_with_poly ~m:8 ~poly:0x11B] but with O(1)
+    multiplication and inversion via log/antilog tables. Used as a fast path
+    by the coding layer when the symbol width is exactly 8 bits, and as a
+    cross-check oracle for {!Gf2p}. *)
+
+val field : Gf2p.t
+(** The equivalent generic descriptor (same polynomial). *)
+
+val mul : int -> int -> int
+val inv : int -> int
+(** Raises [Division_by_zero] on 0. *)
+
+val div : int -> int -> int
+val pow : int -> int -> int
+val add : int -> int -> int
+val log : int -> int
+(** Discrete log base the table generator. Raises [Division_by_zero] on 0. *)
+
+val exp : int -> int
+(** [exp k] is generator^k, for any [k >= 0]. *)

@@ -1,0 +1,55 @@
+type t = {
+  m : int;
+  fld : Gf2p.t;
+  exp_table : int array; (* length 2*(2^m - 1): generator powers, doubled to skip a mod *)
+  log_table : int array;
+}
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let create m =
+  if m < 2 || m > 16 then raise (Gf2p.Invalid_degree m);
+  match Hashtbl.find_opt cache m with
+  | Some t -> t
+  | None ->
+      let fld = Gf2p.create m in
+      let group = Gf2p.order fld - 1 in
+      let gen = Gf2p.generator fld in
+      let exp_table = Array.make (2 * group) 0 in
+      let log_table = Array.make (Gf2p.order fld) 0 in
+      let x = ref 1 in
+      for k = 0 to group - 1 do
+        exp_table.(k) <- !x;
+        exp_table.(k + group) <- !x;
+        log_table.(!x) <- k;
+        x := Gf2p.mul fld !x gen
+      done;
+      let t = { m; fld; exp_table; log_table } in
+      Hashtbl.add cache m t;
+      t
+
+let degree t = t.m
+let generic t = t.fld
+let add _ a b = a lxor b
+
+let mul t a b =
+  if a = 0 || b = 0 then 0 else t.exp_table.(t.log_table.(a) + t.log_table.(b))
+
+let inv t a =
+  if a = 0 then raise Division_by_zero
+  else begin
+    let group = Array.length t.log_table - 1 in
+    t.exp_table.(group - t.log_table.(a))
+  end
+
+let div t a b = mul t a (inv t b)
+
+let pow t a k =
+  if k < 0 then invalid_arg "Gf2p_table.pow: negative exponent";
+  if a = 0 then if k = 0 then 1 else 0
+  else begin
+    let group = Array.length t.log_table - 1 in
+    t.exp_table.(t.log_table.(a) * k mod group)
+  end
+
+let random t st = Random.State.int st (1 lsl t.m)

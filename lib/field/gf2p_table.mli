@@ -1,0 +1,21 @@
+(** Table-accelerated GF(2^m) for 2 <= m <= 16: log/antilog tables make
+    multiplication and inversion O(1) at the cost of O(2^m) memory per
+    field. Semantically identical to {!Gf2p} with the same reduction
+    polynomial (cross-checked by tests); use for hot loops over small
+    fields. Tables are built once per degree and cached. *)
+
+type t
+
+val create : int -> t
+(** Raises {!Gf2p.Invalid_degree} outside [2, 16]. *)
+
+val degree : t -> int
+val generic : t -> Gf2p.t
+(** The equivalent {!Gf2p} descriptor (same polynomial). *)
+
+val add : t -> int -> int -> int
+val mul : t -> int -> int -> int
+val inv : t -> int -> int
+val div : t -> int -> int -> int
+val pow : t -> int -> int -> int
+val random : t -> Random.State.t -> int

@@ -1,0 +1,97 @@
+type t = int array
+
+let zero : t = [||]
+let is_zero (p : t) = Array.length p = 0
+
+let strip (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_coeffs f a =
+  Array.iter
+    (fun c ->
+      if not (Gf2p.is_valid f c) then invalid_arg "Poly.of_coeffs: bad coefficient")
+    a;
+  strip (Array.copy a)
+
+let coeffs (p : t) = Array.copy p
+let constant f c = of_coeffs f [| c |]
+let x : t = [| 0; 1 |]
+let degree (p : t) = Array.length p - 1
+let equal (p : t) (q : t) = p = q
+
+let add f (p : t) (q : t) : t =
+  let n = max (Array.length p) (Array.length q) in
+  let coeff (r : t) i = if i < Array.length r then r.(i) else 0 in
+  strip (Array.init n (fun i -> Gf2p.add f (coeff p i) (coeff q i)))
+
+let mul f (p : t) (q : t) : t =
+  if is_zero p || is_zero q then zero
+  else begin
+    let r = Array.make (Array.length p + Array.length q - 1) 0 in
+    Array.iteri
+      (fun i pi ->
+        if pi <> 0 then
+          Array.iteri
+            (fun j qj -> r.(i + j) <- Gf2p.add f r.(i + j) (Gf2p.mul f pi qj))
+            q)
+      p;
+    strip r
+  end
+
+let scale f c (p : t) : t =
+  if c = 0 then zero else strip (Array.map (fun pi -> Gf2p.mul f c pi) p)
+
+let eval f (p : t) v =
+  (* Horner's rule. *)
+  Array.fold_right (fun c acc -> Gf2p.add f (Gf2p.mul f acc v) c) p 0
+
+let interpolate f pairs =
+  let pts = List.map fst pairs in
+  let rec dup = function
+    | [] -> false
+    | p :: rest -> List.mem p rest || dup rest
+  in
+  if dup pts then invalid_arg "Poly.interpolate: duplicate points";
+  List.fold_left
+    (fun acc (xi, yi) ->
+      (* Lagrange basis polynomial for xi, scaled by yi. *)
+      let basis =
+        List.fold_left
+          (fun b xj ->
+            if xj = xi then b
+            else
+              let denom = Gf2p.inv f (Gf2p.sub f xi xj) in
+              let factor = of_coeffs f [| Gf2p.mul f xj denom; denom |] in
+              mul f b factor)
+          (constant f 1) pts
+      in
+      add f acc (scale f yi basis))
+    zero pairs
+
+let random f ~degree st =
+  if degree < 0 then zero
+  else begin
+    let a = Array.init (degree + 1) (fun _ -> Gf2p.random f st) in
+    a.(degree) <- Gf2p.random_nonzero f st;
+    a
+  end
+
+let pp f fmt (p : t) =
+  if is_zero p then Format.pp_print_string fmt "0"
+  else begin
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if c <> 0 then begin
+          if not !first then Format.pp_print_string fmt " + ";
+          first := false;
+          if i = 0 then Gf2p.pp f fmt c
+          else if c = 1 then Format.fprintf fmt "X^%d" i
+          else Format.fprintf fmt "%a*X^%d" (Gf2p.pp f) c i
+        end)
+      p
+  end

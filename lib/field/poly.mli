@@ -1,0 +1,37 @@
+(** Univariate polynomials over a {!Gf2p} field, represented as coefficient
+    arrays, lowest degree first, with no trailing zero coefficients (the zero
+    polynomial is the empty array). Backs the Schwartz–Zippel machinery the
+    paper's Lemma 2 relies on, and is exercised directly by tests. *)
+
+type t = private int array
+
+val zero : t
+val is_zero : t -> bool
+
+val of_coeffs : Gf2p.t -> int array -> t
+(** Validates coefficients and strips trailing zeros. *)
+
+val coeffs : t -> int array
+val constant : Gf2p.t -> int -> t
+val x : t
+(** The monomial X. *)
+
+val degree : t -> int
+(** Degree; [-1] for the zero polynomial. *)
+
+val equal : t -> t -> bool
+val add : Gf2p.t -> t -> t -> t
+val mul : Gf2p.t -> t -> t -> t
+val scale : Gf2p.t -> int -> t -> t
+val eval : Gf2p.t -> t -> int -> int
+
+val interpolate : Gf2p.t -> (int * int) list -> t
+(** Lagrange interpolation through the given (point, value) pairs. Raises
+    [Invalid_argument] on duplicate points. The result has degree
+    [< List.length pairs]. *)
+
+val random : Gf2p.t -> degree:int -> Random.State.t -> t
+(** Uniformly random polynomial of degree exactly [degree] (leading
+    coefficient nonzero); [degree = -1] gives the zero polynomial. *)
+
+val pp : Gf2p.t -> Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type t = {
+  fld : Gf2p.t;
+  k : int;
+  n : int;
+  coeff_of_data : Poly.t array; (* Lagrange basis through the first k points *)
+}
+
+let create fld ~k ~n =
+  if k < 1 || n < k || n > Gf2p.order fld then
+    invalid_arg "Rs.create: need 1 <= k <= n <= |field|";
+  (* Systematic form: the message polynomial is the one interpolating
+     (i, data_i) for i < k; precompute the Lagrange basis through those
+     points so encoding is a linear combination. *)
+  let basis =
+    Array.init k (fun i ->
+        Poly.interpolate fld (List.init k (fun j -> (j, if j = i then 1 else 0))))
+  in
+  { fld; k; n; coeff_of_data = basis }
+
+let k t = t.k
+let n t = t.n
+
+let message_poly t data =
+  Array.to_seqi data
+  |> Seq.fold_left
+       (fun acc (i, d) -> Poly.add t.fld acc (Poly.scale t.fld d t.coeff_of_data.(i)))
+       Poly.zero
+
+let encode t data =
+  if Array.length data <> t.k then invalid_arg "Rs.encode: wrong data length";
+  Array.iter
+    (fun d -> if not (Gf2p.is_valid t.fld d) then invalid_arg "Rs.encode: bad symbol")
+    data;
+  let p = message_poly t data in
+  Array.init t.n (fun i -> if i < t.k then data.(i) else Poly.eval t.fld p i)
+
+let decode t shares =
+  let shares =
+    List.sort_uniq (fun (a, _) (b, _) -> compare a b) shares
+    |> List.filter (fun (i, _) -> i >= 0 && i < t.n)
+  in
+  if List.length shares < t.k then None
+  else begin
+    let pts = List.filteri (fun idx _ -> idx < t.k) shares in
+    let p = Poly.interpolate t.fld pts in
+    Some (Array.init t.k (fun i -> Poly.eval t.fld p i))
+  end
+
+let decode_exn t shares =
+  match decode t shares with
+  | Some d -> d
+  | None -> invalid_arg "Rs.decode_exn: not enough shares"

@@ -1,0 +1,30 @@
+(** Systematic Reed–Solomon erasure codes over {!Gf2p} — the classical
+    workhorse of coded data dissemination and the conceptual ancestor of the
+    paper's random linear codes (both live on the Schwartz–Zippel /
+    Vandermonde rank arguments of Appendix C and [8]). Used by tests and
+    benchmarks as an independent exerciser of the field and matrix layers.
+
+    Encoding is evaluation of the degree-(k-1) polynomial defined by the
+    [k] data symbols at [n] fixed points; any [k] intact coordinates
+    recover the data by interpolation. Requires n <= 2^m. *)
+
+type t
+
+val create : Gf2p.t -> k:int -> n:int -> t
+(** Raises [Invalid_argument] unless 1 <= k <= n <= field order. *)
+
+val k : t -> int
+val n : t -> int
+
+val encode : t -> int array -> int array
+(** [encode c data] for [Array.length data = k]: the [n] code symbols; the
+    first [k] equal the data (systematic form). *)
+
+val decode : t -> (int * int) list -> int array option
+(** [decode c shares] from at least [k] [(coordinate, symbol)] pairs
+    (coordinates in [0, n)); [None] when fewer than [k] distinct
+    coordinates survive. Inconsistent (corrupted) shares yield garbage —
+    this is an erasure code; combine with the equality check for Byzantine
+    settings. *)
+
+val decode_exn : t -> (int * int) list -> int array

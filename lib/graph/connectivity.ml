@@ -1,0 +1,72 @@
+(* Node splitting: vertex v becomes v_in -> v_out with capacity 1 (infinite
+   for the two endpoints); each original arc (u, v) becomes u_out -> v_in
+   with infinite capacity. Max flow then counts internally node-disjoint
+   paths (Menger). Split-vertex ids: v_in = 2 * idx, v_out = 2 * idx + 1. *)
+
+let split_graph g ~src ~dst =
+  let verts = Array.of_list (Digraph.vertices g) in
+  let idx = Hashtbl.create (Array.length verts) in
+  Array.iteri (fun i v -> Hashtbl.add idx v i) verts;
+  let big = Array.length verts + 1 in
+  let vin v = 2 * Hashtbl.find idx v in
+  let vout v = (2 * Hashtbl.find idx v) + 1 in
+  let sg =
+    Array.fold_left
+      (fun acc v ->
+        let c = if v = src || v = dst then big else 1 in
+        Digraph.add_edge acc ~src:(vin v) ~dst:(vout v) ~cap:c)
+      Digraph.empty verts
+  in
+  (* Internally node-disjoint paths never share an arc (two paths through the
+     same arc would share an internal endpoint, or the arc is src -> dst and
+     only one path can be that edge), so unit arc capacities are exact. *)
+  let sg =
+    Digraph.fold_edges
+      (fun u v _ acc -> Digraph.add_edge acc ~src:(vout u) ~dst:(vin v) ~cap:1)
+      g sg
+  in
+  (sg, verts, vin, vout)
+
+let max_disjoint_paths g ~src ~dst =
+  if src = dst then invalid_arg "Connectivity.max_disjoint_paths: src = dst";
+  let sg, _, vin, vout = split_graph g ~src ~dst in
+  Maxflow.max_flow sg ~src:(vout src) ~dst:(vin dst)
+
+let disjoint_paths g ~src ~dst =
+  if src = dst then invalid_arg "Connectivity.disjoint_paths: src = dst";
+  let sg, verts, vin, vout = split_graph g ~src ~dst in
+  let _, flows = Maxflow.max_flow_edges sg ~src:(vout src) ~dst:(vin dst) in
+  let split_paths = Maxflow.flow_decompose sg flows ~src:(vout src) ~dst:(vin dst) in
+  let unsplit id = verts.(id / 2) in
+  List.map
+    (fun p ->
+      (* Collapse v_in, v_out pairs back to single vertices. *)
+      let rec go acc = function
+        | [] -> List.rev acc
+        | x :: rest -> (
+            match acc with
+            | y :: _ when y = unsplit x -> go acc rest
+            | _ -> go (unsplit x :: acc) rest)
+      in
+      go [] p)
+    split_paths
+
+let vertex_connectivity g =
+  let verts = Digraph.vertices g in
+  if List.length verts < 2 then invalid_arg "Connectivity.vertex_connectivity";
+  let pairs =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u <> v then Some (u, v) else None) verts)
+      verts
+  in
+  let non_adjacent = List.filter (fun (u, v) -> not (Digraph.mem_edge g u v)) pairs in
+  match non_adjacent with
+  | [] -> List.length verts - 1
+  | _ ->
+      List.fold_left
+        (fun acc (u, v) -> min acc (max_disjoint_paths g ~src:u ~dst:v))
+        max_int non_adjacent
+
+let meets_requirement g ~f =
+  let n = Digraph.num_vertices g in
+  n >= (3 * f) + 1 && (f = 0 || vertex_connectivity g >= (2 * f) + 1)

@@ -1,0 +1,23 @@
+(** Vertex connectivity and node-disjoint paths (Menger's theorem via
+    node-splitting max flow). The paper requires network connectivity at
+    least 2f+1 so that any two nodes can communicate reliably over 2f+1
+    node-disjoint paths with majority voting. *)
+
+val max_disjoint_paths : Digraph.t -> src:int -> dst:int -> int
+(** Maximum number of internally node-disjoint directed [src] -> [dst]
+    paths (edge capacities are ignored; internal vertices have unit
+    capacity). When the edge (src, dst) exists it contributes one path. *)
+
+val disjoint_paths : Digraph.t -> src:int -> dst:int -> int list list
+(** A maximum set of internally node-disjoint paths, each given as the full
+    vertex sequence [src; ...; dst]. *)
+
+val vertex_connectivity : Digraph.t -> int
+(** Connectivity of the network in the paper's sense: the minimum over all
+    ordered pairs (i, j) without an edge i -> j of the max number of
+    node-disjoint i -> j paths; [n - 1] for a complete graph. Raises
+    [Invalid_argument] on graphs with fewer than 2 vertices. *)
+
+val meets_requirement : Digraph.t -> f:int -> bool
+(** Whether the graph has n >= 3f + 1 nodes and connectivity >= 2f + 1 —
+    the two necessary-and-sufficient conditions for BB from [7]. *)

@@ -1,0 +1,59 @@
+let max_flow g ~src ~dst =
+  if src = dst then invalid_arg "Edmonds_karp.max_flow: src = dst";
+  if not (Digraph.mem_vertex g src && Digraph.mem_vertex g dst) then
+    invalid_arg "Edmonds_karp.max_flow: endpoint not in graph";
+  (* Residual capacities in a hashtable keyed by directed pair. *)
+  let res : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Digraph.fold_edges
+    (fun s d c () ->
+      Hashtbl.replace res (s, d) (c + try Hashtbl.find res (s, d) with Not_found -> 0))
+    g ();
+  let cap a b = try Hashtbl.find res (a, b) with Not_found -> 0 in
+  let verts = Digraph.vertices g in
+  let neighbors = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace neighbors v
+        (List.sort_uniq compare
+           (List.map fst (Digraph.out_edges g v) @ List.map fst (Digraph.in_edges g v))))
+    verts;
+  let rec augment total =
+    (* BFS for a shortest residual path. *)
+    let pred = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add src q;
+    Hashtbl.replace pred src src;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun w ->
+          if (not (Hashtbl.mem pred w)) && cap v w > 0 then begin
+            Hashtbl.replace pred w v;
+            if w = dst then found := true else Queue.add w q
+          end)
+        (Hashtbl.find neighbors v)
+    done;
+    if not !found then total
+    else begin
+      (* Bottleneck along the path, then push. *)
+      let rec bottleneck v acc =
+        if v = src then acc
+        else
+          let p = Hashtbl.find pred v in
+          bottleneck p (min acc (cap p v))
+      in
+      let b = bottleneck dst max_int in
+      let rec push v =
+        if v <> src then begin
+          let p = Hashtbl.find pred v in
+          Hashtbl.replace res (p, v) (cap p v - b);
+          Hashtbl.replace res (v, p) (cap v p + b);
+          push p
+        end
+      in
+      push dst;
+      augment (total + b)
+    end
+  in
+  augment 0

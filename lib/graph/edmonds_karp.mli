@@ -1,0 +1,6 @@
+(** Edmonds–Karp maximum flow (BFS augmenting paths): an independent
+    implementation cross-checked against {!Maxflow} (Dinic) by the test
+    suite — algorithm diversity as a correctness oracle. *)
+
+val max_flow : Digraph.t -> src:int -> dst:int -> int
+(** Same contract as {!Maxflow.max_flow}. *)

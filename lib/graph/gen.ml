@@ -1,0 +1,149 @@
+let sym es =
+  List.concat_map (fun (u, v, c) -> [ (u, v, c); (v, u, c) ]) es
+
+(* Reconstruction of Figure 1(a). The paper states MINCUT(G,1,2) = 2,
+   MINCUT(G,1,3) = 3, MINCUT(G,1,4) = 2, and that nodes 2 and 4 are not
+   adjacent. Bidirectional edges 1<->2 (1), 1<->3 (2), 1<->4 (1), 2<->3 (1)
+   plus the one-way edge 3->4 (1) satisfy all of them (verified in tests). *)
+let figure1a =
+  Digraph.of_edges
+    (sym [ (1, 2, 1); (1, 3, 2); (1, 4, 1); (2, 3, 1) ] @ [ (3, 4, 1) ])
+
+let figure1b = Digraph.remove_pair figure1a 2 3
+
+(* Reconstruction of Figure 2(a): cap(1,2) = 2 is shared by both spanning
+   trees; the Appendix C example indexes directed edges (2,3), (1,4), (4,3).
+   Trees: solid {1->2, 2->3, 1->4}, dotted {1->2, 2->4, 4->3}. *)
+let figure2 =
+  Digraph.of_edges [ (1, 2, 2); (2, 3, 1); (1, 4, 1); (4, 3, 1); (2, 4, 1) ]
+
+let complete ~n ~cap =
+  if n < 1 then invalid_arg "Gen.complete";
+  let es = ref [] in
+  for i = 1 to n do
+    for j = 1 to n do
+      if i <> j then es := (i, j, cap) :: !es
+    done
+  done;
+  Digraph.of_edges ~vertices:(List.init n (fun i -> i + 1)) !es
+
+let ring ~n ~cap =
+  if n < 3 then invalid_arg "Gen.ring";
+  let es = List.init n (fun i -> (i + 1, (if i = n - 1 then 1 else i + 2), cap)) in
+  Digraph.of_edges (sym es)
+
+let ring_with_chords ~n ~cap ~chord_cap =
+  if n < 5 then invalid_arg "Gen.ring_with_chords";
+  let g = ring ~n ~cap in
+  let chords =
+    List.init n (fun i ->
+        let u = i + 1 in
+        let v = (((i + 2) mod n) + 1 : int) in
+        (u, v, chord_cap))
+  in
+  List.fold_left
+    (fun g (u, v, c) ->
+      if Digraph.mem_edge g u v then g
+      else Digraph.add_edge (Digraph.add_edge g ~src:u ~dst:v ~cap:c) ~src:v ~dst:u ~cap:c)
+    g chords
+
+let random_once st ~n ~p ~min_cap ~max_cap =
+  let es = ref [] in
+  for i = 1 to n do
+    for j = i + 1 to n do
+      if Random.State.float st 1.0 < p then begin
+        let c () = min_cap + Random.State.int st (max_cap - min_cap + 1) in
+        es := (i, j, c ()) :: (j, i, c ()) :: !es
+      end
+    done
+  done;
+  Digraph.of_edges ~vertices:(List.init n (fun i -> i + 1)) !es
+
+let random_connected ~n ~p ~min_cap ~max_cap ~seed =
+  if n < 2 || p <= 0.0 || min_cap < 1 || max_cap < min_cap then
+    invalid_arg "Gen.random_connected";
+  let st = Random.State.make [| seed; n; min_cap; max_cap |] in
+  let rec go tries =
+    if tries > 10_000 then invalid_arg "Gen.random_connected: p too small to connect"
+    else
+      let g = random_once st ~n ~p ~min_cap ~max_cap in
+      if Digraph.is_strongly_connected g then g else go (tries + 1)
+  in
+  go 0
+
+let random_bb_feasible ~n ~f ~p ~min_cap ~max_cap ~seed =
+  if n < (3 * f) + 1 then invalid_arg "Gen.random_bb_feasible: need n >= 3f+1";
+  let st = Random.State.make [| seed; n; f; min_cap; max_cap |] in
+  let rec go tries =
+    if tries > 10_000 then
+      invalid_arg "Gen.random_bb_feasible: p too small for 2f+1 connectivity"
+    else
+      let g = random_once st ~n ~p ~min_cap ~max_cap in
+      if Digraph.is_strongly_connected g && Connectivity.meets_requirement g ~f then g
+      else go (tries + 1)
+  in
+  go 0
+
+let dumbbell ~clique ~clique_cap ~bridge_cap =
+  if clique < 3 then invalid_arg "Gen.dumbbell: cliques need >= 3 nodes";
+  let left = List.init clique (fun i -> i + 1) in
+  let right = List.init clique (fun i -> clique + i + 1) in
+  let clique_edges nodes =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some (u, v, clique_cap) else None) nodes)
+      nodes
+  in
+  let bridges =
+    (* Three vertex-disjoint bridges keep the graph 3-connected. *)
+    List.init 3 (fun i -> (List.nth left i, List.nth right i, bridge_cap))
+  in
+  Digraph.of_edges (sym (clique_edges left @ clique_edges right @ bridges))
+
+let hypercube ~dims ~cap =
+  if dims < 1 || dims > 10 then invalid_arg "Gen.hypercube: dims in [1, 10]";
+  let n = 1 lsl dims in
+  let es = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to dims - 1 do
+      let w = v lxor (1 lsl b) in
+      if v < w then es := (v + 1, w + 1, cap) :: !es
+    done
+  done;
+  Digraph.of_edges (sym !es)
+
+let torus ~rows ~cols ~cap =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: need rows, cols >= 3";
+  let id r c = 1 + (((r + rows) mod rows) * cols) + ((c + cols) mod cols) in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      es := (id r c, id r (c + 1), cap) :: (id r c, id (r + 1) c, cap) :: !es
+    done
+  done;
+  (* Deduplicate opposite-direction duplicates on 2-cycles (e.g. cols = 2)
+     is unnecessary for rows, cols >= 3; sym adds both directions. *)
+  Digraph.of_edges (sym !es)
+
+let twin_cliques ~half ~spoke_cap ~intra_cap ~cross_cap =
+  if half < 2 then invalid_arg "Gen.twin_cliques: halves need >= 2 nodes";
+  let left = List.init half (fun i -> i + 2) in
+  let right = List.init half (fun i -> half + i + 2) in
+  let spokes = List.map (fun v -> (1, v, spoke_cap)) (left @ right) in
+  let clique nodes =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some (u, v, intra_cap) else None) nodes)
+      nodes
+  in
+  let cross = List.concat_map (fun u -> List.map (fun v -> (u, v, cross_cap)) right) left in
+  Digraph.of_edges (sym (spokes @ clique left @ clique right @ cross))
+
+let star_mesh ~n ~spoke_cap ~mesh_cap =
+  if n < 4 then invalid_arg "Gen.star_mesh";
+  let others = List.init (n - 1) (fun i -> i + 2) in
+  let spokes = List.map (fun v -> (1, v, spoke_cap)) others in
+  let mesh =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some (u, v, mesh_cap) else None) others)
+      others
+  in
+  Digraph.of_edges (sym (spokes @ mesh))

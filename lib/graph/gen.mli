@@ -1,0 +1,71 @@
+(** Network generators: the paper's figure graphs (reconstructed to satisfy
+    every numeric fact the text states about them) and parametric families
+    used by the benchmark harness. All generators number nodes from 1, with
+    node 1 the designated source, matching the paper's convention. *)
+
+val figure1a : Digraph.t
+(** Figure 1(a): 4-node directed graph with MINCUT(G,1,2) = 2,
+    MINCUT(G,1,3) = 3, MINCUT(G,1,4) = 2 (hence gamma = 2) and no edge
+    between nodes 2 and 4. *)
+
+val figure1b : Digraph.t
+(** Figure 1(b): figure1a with nodes 2 and 3 in dispute (their edges
+    removed). With n = 4, f = 1 this gives U_k = 2. *)
+
+val figure2 : Digraph.t
+(** Figure 2(a): 4-node directed graph with cap(1,2) = 2 and two
+    unit-capacity spanning trees rooted at node 1; contains the directed
+    edges (2,3), (1,4), (4,3) indexed by the Appendix C example. *)
+
+val complete : n:int -> cap:int -> Digraph.t
+(** Complete symmetric digraph on nodes 1..n, every directed edge with the
+    given capacity. *)
+
+val ring : n:int -> cap:int -> Digraph.t
+(** Bidirectional cycle 1 - 2 - ... - n - 1. *)
+
+val ring_with_chords : n:int -> cap:int -> chord_cap:int -> Digraph.t
+(** Ring plus chords i <-> i+2, giving 4-connectivity (tolerates f = 1 while
+    staying sparse). *)
+
+val random_connected :
+  n:int -> p:float -> min_cap:int -> max_cap:int -> seed:int -> Digraph.t
+(** Erdos-Renyi symmetric digraph: each unordered pair joined with
+    probability [p], both directions with an independent uniform capacity in
+    [min_cap, max_cap]. Pairs are resampled (with fresh randomness) until
+    the graph is strongly connected. *)
+
+val random_bb_feasible :
+  n:int -> f:int -> p:float -> min_cap:int -> max_cap:int -> seed:int -> Digraph.t
+(** Like {!random_connected} but resampled until vertex connectivity is at
+    least 2f+1 (and n >= 3f+1 is checked), so BB is solvable on it. *)
+
+val dumbbell : clique:int -> clique_cap:int -> bridge_cap:int -> Digraph.t
+(** Two complete cliques of [clique] nodes each, joined by 3 bridges of the
+    given capacity (so the graph stays 3-connected and tolerates f = 1).
+    Node 1 sits in the first clique. The bridges are the capacity
+    bottleneck: this is the family exhibiting the intro's "arbitrarily
+    worse" gap for capacity-oblivious algorithms. *)
+
+val star_mesh : n:int -> spoke_cap:int -> mesh_cap:int -> Digraph.t
+(** Node 1 linked to all others with [spoke_cap]; others form a complete
+    mesh with [mesh_cap]. Models a fat-uplink source. *)
+
+val hypercube : dims:int -> cap:int -> Digraph.t
+(** The [dims]-dimensional hypercube (2^dims nodes, numbered 1..2^dims,
+    adjacent iff their zero-based labels differ in one bit), every directed
+    edge with the given capacity. Vertex connectivity = [dims]. *)
+
+val torus : rows:int -> cols:int -> cap:int -> Digraph.t
+(** The [rows] x [cols] wrap-around grid (node 1 + r*cols + c), each
+    bidirectional link with the given capacity; 4-regular for
+    rows, cols >= 3 (hence tolerates f = 1 at n >= 4). *)
+
+val twin_cliques :
+  half:int -> spoke_cap:int -> intra_cap:int -> cross_cap:int -> Digraph.t
+(** Source node 1 with [spoke_cap] links to every other node; the others form
+    two cliques of [half] nodes each with [intra_cap] inside and [cross_cap]
+    across. With fat spokes and thin cross links this is the canonical
+    "1/3-regime" network: gamma' stays high (the source reaches everyone
+    directly) while rho' is pinned by the thin cut of the Omega-subgraph
+    that excludes the source, giving gamma' > 2 rho'. *)

@@ -1,0 +1,78 @@
+type t = {
+  verts : int array;
+  parent : (int, int) Hashtbl.t;
+  flow : (int, int) Hashtbl.t; (* cut value between v and parent v *)
+}
+
+let build g =
+  if Ugraph.num_vertices g < 2 then invalid_arg "Gomory_hu.build: need >= 2 vertices";
+  if not (Ugraph.is_connected g) then invalid_arg "Gomory_hu.build: disconnected graph";
+  let verts = Array.of_list (Ugraph.vertices g) in
+  let dg = Ugraph.to_symmetric_digraph g in
+  let parent = Hashtbl.create (Array.length verts) in
+  let flow = Hashtbl.create (Array.length verts) in
+  let root = verts.(0) in
+  Array.iter (fun v -> if v <> root then Hashtbl.replace parent v root) verts;
+  (* Gusfield's algorithm. *)
+  Array.iter
+    (fun s ->
+      if s <> root then begin
+        let t = Hashtbl.find parent s in
+        let f, side = Maxflow.min_cut dg ~src:s ~dst:t in
+        Hashtbl.replace flow s f;
+        Array.iter
+          (fun v ->
+            if v <> s && v <> root && Vset.mem v side && Hashtbl.find parent v = t then
+              Hashtbl.replace parent v s)
+          verts;
+        (* Re-hang t's parent below s when it falls on s's side. *)
+        if t <> root then begin
+          let pt = Hashtbl.find parent t in
+          if Vset.mem pt side then begin
+            Hashtbl.replace parent s pt;
+            Hashtbl.replace parent t s;
+            Hashtbl.replace flow s (Hashtbl.find flow t);
+            Hashtbl.replace flow t f
+          end
+        end
+      end)
+    verts;
+  { verts; parent; flow }
+
+let path_to_root t v =
+  let rec go v acc =
+    match Hashtbl.find_opt t.parent v with
+    | None -> v :: acc
+    | Some p -> go p (v :: acc)
+  in
+  go v []
+
+let min_cut t u v =
+  if u = v then invalid_arg "Gomory_hu.min_cut: identical vertices";
+  if not (Array.exists (( = ) u) t.verts && Array.exists (( = ) v) t.verts) then
+    raise Not_found;
+  (* Min edge along the tree path: climb both to the root and drop the
+     common prefix. *)
+  let pu = path_to_root t u and pv = path_to_root t v in
+  let rec strip = function
+    | a :: (a' :: _ as ra), b :: (b' :: _ as rb) when a = b && a' = b' -> strip (ra, rb)
+    | pu, pv -> (pu, pv)
+  in
+  let pu, pv = strip (pu, pv) in
+  let min_on path =
+    (* path is root-to-x; edges are (child, parent) pairs read upward. *)
+    let rec go acc = function
+      | _ :: ([ x ] as rest) -> go (min acc (Hashtbl.find t.flow x)) rest
+      | _ :: (x :: _ as rest) -> go (min acc (Hashtbl.find t.flow x)) rest
+      | _ -> acc
+    in
+    go max_int path
+  in
+  min (min_on pu) (min_on pv)
+
+let tree_edges t =
+  Hashtbl.fold (fun v p acc -> (v, p, Hashtbl.find t.flow v) :: acc) t.parent []
+  |> List.sort compare
+
+let global_min_cut t =
+  List.fold_left (fun acc (_, _, f) -> min acc f) max_int (tree_edges t)

@@ -1,0 +1,23 @@
+(** Gomory–Hu tree: all-pairs minimum cuts of a connected undirected
+    capacitated graph from n-1 max-flow computations (Gusfield's variant,
+    which needs no contraction). MINCUT(H, i, j) for every pair — the
+    quantity the paper's U_H minimises — is the smallest edge weight on the
+    unique i-j path of the tree. *)
+
+type t
+
+val build : Ugraph.t -> t
+(** Raises [Invalid_argument] on graphs with fewer than 2 vertices or
+    disconnected graphs. *)
+
+val min_cut : t -> int -> int -> int
+(** Min cut between two distinct vertices. Raises [Not_found] for vertices
+    not in the tree. *)
+
+val tree_edges : t -> (int * int * int) list
+(** The tree as [(vertex, parent, cut_value)] triples, sorted by vertex;
+    the root is absent. *)
+
+val global_min_cut : t -> int
+(** min over all pairs = the smallest tree edge; equals
+    {!Stoer_wagner.min_cut_value}. *)

@@ -1,0 +1,61 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (String.trim (strip_comment line))
+  |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let rec go lineno g = function
+    | [] -> Ok g
+    | line :: rest -> (
+        match tokens line with
+        | [] -> go (lineno + 1) g rest
+        | [ "node"; v ] -> (
+            match int_of_string_opt v with
+            | Some v -> go (lineno + 1) (Digraph.add_vertex g v) rest
+            | None -> err lineno "node expects an integer")
+        | [ "edge"; a; b; c ] -> (
+            match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+            | Some a, Some b, Some c -> (
+                match Digraph.add_edge g ~src:a ~dst:b ~cap:c with
+                | g -> go (lineno + 1) g rest
+                | exception Invalid_argument m -> err lineno m)
+            | _ -> err lineno "edge expects three integers")
+        | [ "biedge"; a; b; c ] -> (
+            match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+            | Some a, Some b, Some c -> (
+                match
+                  Digraph.add_edge
+                    (Digraph.add_edge g ~src:a ~dst:b ~cap:c)
+                    ~src:b ~dst:a ~cap:c
+                with
+                | g -> go (lineno + 1) g rest
+                | exception Invalid_argument m -> err lineno m)
+            | _ -> err lineno "biedge expects three integers")
+        | word :: _ -> err lineno (Printf.sprintf "unknown directive %S" word))
+  in
+  go 1 Digraph.empty lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let print g =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun v ->
+      if Digraph.neighbors g v = [] then
+        Buffer.add_string buf (Printf.sprintf "node %d\n" v))
+    (Digraph.vertices g);
+  List.iter
+    (fun (s, d, c) -> Buffer.add_string buf (Printf.sprintf "edge %d %d %d\n" s d c))
+    (Digraph.edges g);
+  Buffer.contents buf
+
+let write_file path g = Out_channel.with_open_text path (fun oc -> output_string oc (print g))

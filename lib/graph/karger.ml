@@ -1,0 +1,62 @@
+let one_trial g st =
+  let n = Ugraph.num_vertices g in
+  if n < 2 then invalid_arg "Karger.one_trial: need >= 2 vertices";
+  if not (Ugraph.is_connected g) then invalid_arg "Karger.one_trial: disconnected";
+  (* Union-find over original vertices; contract until 2 groups remain. *)
+  let parent = Hashtbl.create n in
+  List.iter (fun v -> Hashtbl.replace parent v v) (Ugraph.vertices g);
+  let rec find v =
+    let p = Hashtbl.find parent v in
+    if p = v then v
+    else begin
+      let r = find p in
+      Hashtbl.replace parent v r;
+      r
+    end
+  in
+  let union a b = Hashtbl.replace parent (find a) (find b) in
+  let edges = Array.of_list (Ugraph.edges g) in
+  let total_cap = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 edges in
+  let groups = ref n in
+  while !groups > 2 do
+    (* Pick an edge with probability proportional to its capacity. *)
+    let target = Random.State.int st total_cap in
+    let rec pick i acc =
+      let _, _, c = edges.(i) in
+      if acc + c > target then edges.(i) else pick (i + 1) (acc + c)
+    in
+    let u, v, _ = pick 0 0 in
+    if find u <> find v then begin
+      union u v;
+      decr groups
+    end
+  done;
+  let rep = find (List.hd (Ugraph.vertices g)) in
+  let side =
+    List.fold_left
+      (fun acc v -> if find v = rep then Vset.add v acc else acc)
+      Vset.empty (Ugraph.vertices g)
+  in
+  let value =
+    Ugraph.fold_edges
+      (fun a b c acc -> if Vset.mem a side <> Vset.mem b side then acc + c else acc)
+      g 0
+  in
+  (value, side)
+
+let min_cut g ~trials ~seed =
+  if trials < 1 then invalid_arg "Karger.min_cut: trials must be positive";
+  let st = Random.State.make [| seed; 0xCA26E2 |] in
+  let rec go i best =
+    if i = 0 then best
+    else begin
+      let v, side = one_trial g st in
+      let best = if v < fst best then (v, side) else best in
+      go (i - 1) best
+    end
+  in
+  go trials (max_int, Vset.empty)
+
+let recommended_trials g =
+  let n = float_of_int (Ugraph.num_vertices g) in
+  int_of_float (ceil (n *. n *. log n)) |> max 1

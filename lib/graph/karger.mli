@@ -1,0 +1,17 @@
+(** Karger's randomised contraction algorithm for global min cut of an
+    undirected capacitated graph. Each trial contracts random
+    capacity-weighted edges down to two super-vertices; the crossing
+    capacity is an upper bound on the min cut, and equals it with
+    probability >= 2/n(n-1) per trial. Used as a randomised cross-check of
+    {!Stoer_wagner} and a nice Monte-Carlo test target. *)
+
+val one_trial : Ugraph.t -> Random.State.t -> int * Vset.t
+(** One contraction run: (cut value, one side). Raises on < 2 vertices or a
+    disconnected graph. *)
+
+val min_cut : Ugraph.t -> trials:int -> seed:int -> int * Vset.t
+(** Best cut over [trials] runs. With trials >= n^2 ln n the result equals
+    the true min cut with high probability; it is always an upper bound. *)
+
+val recommended_trials : Ugraph.t -> int
+(** ceil(n^2 ln n), the classic whp bound. *)

@@ -1,0 +1,76 @@
+type t = {
+  nodes : int;
+  edges : int;
+  total_capacity : int;
+  min_cap : int;
+  max_cap : int;
+  min_out_degree : int;
+  max_out_degree : int;
+  diameter : int;
+  vertex_connectivity : int;
+  max_f : int;
+}
+
+let eccentricity g v =
+  if not (Digraph.mem_vertex g v) then invalid_arg "Metrics.eccentricity";
+  let dist = Hashtbl.create 16 in
+  Hashtbl.replace dist v 0;
+  let q = Queue.create () in
+  Queue.add v q;
+  let far = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = Hashtbl.find dist u in
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem dist w) then begin
+          Hashtbl.replace dist w (du + 1);
+          far := max !far (du + 1);
+          Queue.add w q
+        end)
+      (Digraph.out_edges g u)
+  done;
+  if Hashtbl.length dist < Digraph.num_vertices g then -1 else !far
+
+let compute g =
+  let verts = Digraph.vertices g in
+  if List.length verts < 2 then invalid_arg "Metrics.compute: need >= 2 vertices";
+  let caps = List.map (fun (_, _, c) -> c) (Digraph.edges g) in
+  let out_degrees = List.map (Digraph.out_degree g) verts in
+  let diameter =
+    List.fold_left
+      (fun acc v ->
+        if acc < 0 then acc
+        else
+          let e = eccentricity g v in
+          if e < 0 then -1 else max acc e)
+      0 verts
+  in
+  let kappa = Connectivity.vertex_connectivity g in
+  let n = List.length verts in
+  let max_f =
+    let rec go f = if n >= (3 * (f + 1)) + 1 && kappa >= (2 * (f + 1)) + 1 then go (f + 1) else f in
+    go 0
+  in
+  {
+    nodes = n;
+    edges = List.length caps;
+    total_capacity = List.fold_left ( + ) 0 caps;
+    min_cap = List.fold_left min max_int caps;
+    max_cap = List.fold_left max 0 caps;
+    min_out_degree = List.fold_left min max_int out_degrees;
+    max_out_degree = List.fold_left max 0 out_degrees;
+    diameter;
+    vertex_connectivity = kappa;
+    max_f;
+  }
+
+let pp fmt m =
+  Format.fprintf fmt
+    "@[<v>nodes: %d, directed edges: %d@,capacity: total %d, per-link %d..%d@,\
+     out-degree: %d..%d@,diameter: %s hops@,vertex connectivity: %d@,\
+     tolerates up to f = %d Byzantine nodes@]"
+    m.nodes m.edges m.total_capacity m.min_cap m.max_cap m.min_out_degree
+    m.max_out_degree
+    (if m.diameter < 0 then "inf (not strongly connected)" else string_of_int m.diameter)
+    m.vertex_connectivity m.max_f

@@ -1,0 +1,123 @@
+type tree = (int * int) list
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+let bfs_tree g ~root =
+  if not (Ugraph.mem_vertex g root) then invalid_arg "Spanning.bfs_tree: root absent";
+  let seen = ref (Vset.singleton root) in
+  let tree = ref [] in
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (w, _) ->
+        if not (Vset.mem w !seen) then begin
+          seen := Vset.add w !seen;
+          tree := norm v w :: !tree;
+          Queue.add w q
+        end)
+      (Ugraph.neighbors g v)
+  done;
+  if not (Vset.equal !seen (Ugraph.vertex_set g)) then
+    invalid_arg "Spanning.bfs_tree: graph is disconnected";
+  List.rev !tree
+
+let is_spanning_tree g t =
+  let vs = Ugraph.vertex_set g in
+  let n = Vset.cardinal vs in
+  List.length t = n - 1
+  && List.for_all (fun (u, v) -> Ugraph.mem_edge g u v) t
+  &&
+  (* Acyclic + spanning via union-find over the vertex list. *)
+  let parent = Hashtbl.create n in
+  Vset.iter (fun v -> Hashtbl.replace parent v v) vs;
+  let rec find v =
+    let p = Hashtbl.find parent v in
+    if p = v then v
+    else begin
+      let r = find p in
+      Hashtbl.replace parent v r;
+      r
+    end
+  in
+  let acyclic =
+    List.for_all
+      (fun (u, v) ->
+        Vset.mem u vs && Vset.mem v vs
+        &&
+        let ru = find u and rv = find v in
+        if ru = rv then false
+        else begin
+          Hashtbl.replace parent ru rv;
+          true
+        end)
+      t
+  in
+  acyclic && n > 0
+  &&
+  let r0 = find (Vset.choose vs) in
+  Vset.for_all (fun v -> find v = r0) vs
+
+let count_disjoint_trees_lower_bound g =
+  if Ugraph.num_vertices g < 2 then 0 else Stoer_wagner.min_cut_value g / 2
+
+let decrement g u v =
+  let c = Ugraph.cap g u v in
+  assert (c > 0);
+  let g = Ugraph.remove_edge g u v in
+  if c = 1 then g else Ugraph.add_edge g u v (c - 1)
+
+(* Grow one spanning tree, preferring the frontier edge whose residual graph
+   keeps the largest global min cut (a lookahead heuristic that succeeds on
+   the well-connected graphs NAB runs on). When this is the last tree to
+   extract ([keep_connected] false), residual disconnection is acceptable. *)
+let grow_tree ~keep_connected g =
+  let all = Ugraph.vertex_set g in
+  let root = Vset.choose all in
+  let rec go g covered tree =
+    if Vset.equal covered all then Some (g, tree)
+    else begin
+      let candidates =
+        Vset.fold
+          (fun u acc ->
+            List.fold_left
+              (fun acc (v, _) -> if Vset.mem v covered then acc else (u, v) :: acc)
+              acc (Ugraph.neighbors g u))
+          covered []
+      in
+      match candidates with
+      | [] -> None
+      | _ ->
+          let scored =
+            List.map
+              (fun (u, v) ->
+                let g' = decrement g u v in
+                let score =
+                  if Ugraph.num_vertices g' < 2 || not (Ugraph.is_connected g') then -1
+                  else Stoer_wagner.min_cut_value g'
+                in
+                ((u, v), g', score))
+              candidates
+          in
+          let (u, v), g', score =
+            List.fold_left
+              (fun ((_, _, bs) as best) ((_, _, s) as cand) -> if s > bs then cand else best)
+              (List.hd scored) (List.tl scored)
+          in
+          if score < 0 && keep_connected then None
+          else go g' (Vset.add v covered) (norm u v :: tree)
+    end
+  in
+  go g (Vset.singleton root) []
+
+let greedy_disjoint_trees g ~k =
+  if k < 0 then invalid_arg "Spanning.greedy_disjoint_trees: negative k";
+  let rec go g remaining acc =
+    if remaining = 0 then Some (List.rev acc)
+    else
+      match grow_tree ~keep_connected:(remaining > 1) g with
+      | None -> None
+      | Some (g', tree) -> go g' (remaining - 1) (List.rev tree :: acc)
+  in
+  go g k []

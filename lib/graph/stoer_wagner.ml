@@ -1,0 +1,55 @@
+(* Textbook Stoer-Wagner with an adjacency matrix and vertex merging; each
+   matrix slot tracks the set of original vertices merged into it. *)
+
+let min_cut g =
+  let verts = Array.of_list (Ugraph.vertices g) in
+  let n = Array.length verts in
+  if n < 2 then invalid_arg "Stoer_wagner.min_cut: need at least two vertices";
+  let w = Array.make_matrix n n 0 in
+  List.iter
+    (fun (u, v, c) ->
+      let iu = ref 0 and iv = ref 0 in
+      Array.iteri (fun i x -> if x = u then iu := i else if x = v then iv := i) verts;
+      w.(!iu).(!iv) <- c;
+      w.(!iv).(!iu) <- c)
+    (Ugraph.edges g);
+  let groups = Array.init n (fun i -> Vset.singleton verts.(i)) in
+  let active = Array.make n true in
+  let best = ref max_int and best_side = ref Vset.empty in
+  for phase = n downto 2 do
+    (* Maximum-adjacency ordering over the [phase] active vertices. *)
+    let in_a = Array.make n false in
+    let weight_to_a = Array.make n 0 in
+    let prev = ref (-1) and last = ref (-1) in
+    for _ = 1 to phase do
+      let sel = ref (-1) in
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) && (!sel < 0 || weight_to_a.(v) > weight_to_a.(!sel))
+        then sel := v
+      done;
+      in_a.(!sel) <- true;
+      prev := !last;
+      last := !sel;
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) then weight_to_a.(v) <- weight_to_a.(v) + w.(!sel).(v)
+      done
+    done;
+    (* Cut-of-the-phase: the last vertex against the rest. *)
+    if weight_to_a.(!last) < !best then begin
+      best := weight_to_a.(!last);
+      best_side := groups.(!last)
+    end;
+    (* Merge last into prev. *)
+    let s = !prev and t = !last in
+    active.(t) <- false;
+    groups.(s) <- Vset.union groups.(s) groups.(t);
+    for v = 0 to n - 1 do
+      if active.(v) && v <> s then begin
+        w.(s).(v) <- w.(s).(v) + w.(t).(v);
+        w.(v).(s) <- w.(s).(v)
+      end
+    done
+  done;
+  (!best, !best_side)
+
+let min_cut_value g = fst (min_cut g)

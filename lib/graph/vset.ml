@@ -1,0 +1,10 @@
+(** Integer vertex sets, shared across the graph and protocol layers. *)
+
+include Set.Make (Int)
+
+let of_range lo hi = of_list (List.init (max 0 (hi - lo + 1)) (fun i -> lo + i))
+
+let pp fmt s =
+  Format.fprintf fmt "{@[%a@]}"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ") Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,166 @@
+open Nab_field
+
+(* All routines copy the input into a mutable int array array workspace and
+   run textbook row reduction over the field. *)
+
+let workspace a = Matrix.to_arrays a
+
+(* Forward elimination into row-echelon form. Returns the pivot list as
+   (row, col) pairs in elimination order and the determinant accumulator
+   (meaningful only for square full elimination; over GF(2^m) there are no
+   sign flips since -1 = 1). *)
+let echelon f (w : int array array) =
+  let nr = Array.length w in
+  let nc = if nr = 0 then 0 else Array.length w.(0) in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let c = ref 0 in
+  while !r < nr && !c < nc do
+    (* Find a pivot in column !c at or below row !r. *)
+    let pr = ref (-1) in
+    (try
+       for i = !r to nr - 1 do
+         if w.(i).(!c) <> 0 then begin
+           pr := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pr < 0 then incr c
+    else begin
+      if !pr <> !r then begin
+        let tmp = w.(!pr) in
+        w.(!pr) <- w.(!r);
+        w.(!r) <- tmp
+      end;
+      let inv_pivot = Gf2p.inv f w.(!r).(!c) in
+      for j = !c to nc - 1 do
+        w.(!r).(j) <- Gf2p.mul f inv_pivot w.(!r).(j)
+      done;
+      for i = !r + 1 to nr - 1 do
+        let factor = w.(i).(!c) in
+        if factor <> 0 then
+          for j = !c to nc - 1 do
+            w.(i).(j) <- Gf2p.sub f w.(i).(j) (Gf2p.mul f factor w.(!r).(j))
+          done
+      done;
+      pivots := (!r, !c) :: !pivots;
+      incr r;
+      incr c
+    end
+  done;
+  List.rev !pivots
+
+let back_substitute f (w : int array array) pivots =
+  let nc = if Array.length w = 0 then 0 else Array.length w.(0) in
+  List.iter
+    (fun (r, c) ->
+      for i = 0 to r - 1 do
+        let factor = w.(i).(c) in
+        if factor <> 0 then
+          for j = c to nc - 1 do
+            w.(i).(j) <- Gf2p.sub f w.(i).(j) (Gf2p.mul f factor w.(r).(j))
+          done
+      done)
+    pivots
+
+let rank f a =
+  let w = workspace a in
+  List.length (echelon f w)
+
+let det f a =
+  if Matrix.rows a <> Matrix.cols a then invalid_arg "Gauss.det: non-square";
+  let n = Matrix.rows a in
+  if n = 0 then 1
+  else begin
+    (* Track pivot values before normalisation: run elimination manually. *)
+    let w = workspace a in
+    let det = ref 1 in
+    (try
+       for c = 0 to n - 1 do
+         let pr = ref (-1) in
+         (try
+            for i = c to n - 1 do
+              if w.(i).(c) <> 0 then begin
+                pr := i;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         if !pr < 0 then begin
+           det := 0;
+           raise Exit
+         end;
+         if !pr <> c then begin
+           let tmp = w.(!pr) in
+           w.(!pr) <- w.(c);
+           w.(c) <- tmp
+           (* char 2: swapping rows does not change the determinant sign *)
+         end;
+         det := Gf2p.mul f !det w.(c).(c);
+         let inv_pivot = Gf2p.inv f w.(c).(c) in
+         for i = c + 1 to n - 1 do
+           let factor = Gf2p.mul f w.(i).(c) inv_pivot in
+           if factor <> 0 then
+             for j = c to n - 1 do
+               w.(i).(j) <- Gf2p.sub f w.(i).(j) (Gf2p.mul f factor w.(c).(j))
+             done
+         done
+       done
+     with Exit -> ());
+    !det
+  end
+
+let is_invertible f a = Matrix.rows a = Matrix.cols a && det f a <> 0
+
+let rref f a =
+  let w = workspace a in
+  let pivots = echelon f w in
+  back_substitute f w pivots;
+  (Matrix.of_arrays w, List.map snd pivots)
+
+let inverse f a =
+  let n = Matrix.rows a in
+  if n <> Matrix.cols a then None
+  else begin
+    let aug = Matrix.hcat a (Matrix.identity n) in
+    let w = workspace aug in
+    let pivots = echelon f w in
+    (* All n pivots must land in the A-half of the augmented matrix. *)
+    if List.length (List.filter (fun (_, c) -> c < n) pivots) < n then None
+    else begin
+      back_substitute f w pivots;
+      Some (Matrix.sub_matrix (Matrix.of_arrays w) ~row:0 ~col:n ~rows:n ~cols:n)
+    end
+  end
+
+let solve f a b =
+  if Array.length b <> Matrix.rows a then invalid_arg "Gauss.solve: shape mismatch";
+  let aug = Matrix.hcat a (Matrix.init (Matrix.rows a) 1 (fun i _ -> b.(i))) in
+  let w = workspace aug in
+  let pivots = echelon f w in
+  let nc = Matrix.cols a in
+  if List.exists (fun (_, c) -> c = nc) pivots then None
+  else begin
+    back_substitute f w pivots;
+    let x = Array.make nc 0 in
+    List.iter (fun (r, c) -> x.(c) <- w.(r).(nc)) pivots;
+    Some x
+  end
+
+let kernel_basis f a =
+  let w = workspace a in
+  let pivots = echelon f w in
+  back_substitute f w pivots;
+  let nc = Matrix.cols a in
+  let pivot_cols = List.map snd pivots in
+  let free_cols = List.filter (fun c -> not (List.mem c pivot_cols)) (List.init nc Fun.id) in
+  List.map
+    (fun fc ->
+      let x = Array.make nc 0 in
+      x.(fc) <- 1;
+      List.iter (fun (r, c) -> x.(c) <- w.(r).(fc) (* -w = w in char 2 *)) pivots;
+      x)
+    free_cols
+
+let has_invertible_submatrix f a = rank f a = Matrix.rows a

@@ -1,0 +1,32 @@
+(** Gaussian elimination over a {!Nab_field.Gf2p} field: rank, determinant,
+    inverse, linear solving, and kernel bases. Used by the coding layer to
+    verify equality-check matrices (Theorem 1 / Appendix C reduce correctness
+    to full-rank conditions). *)
+
+open Nab_field
+
+val rank : Gf2p.t -> Matrix.t -> int
+
+val det : Gf2p.t -> Matrix.t -> int
+(** Determinant of a square matrix. Raises [Invalid_argument] otherwise. *)
+
+val is_invertible : Gf2p.t -> Matrix.t -> bool
+
+val inverse : Gf2p.t -> Matrix.t -> Matrix.t option
+(** [None] when singular or non-square. *)
+
+val rref : Gf2p.t -> Matrix.t -> Matrix.t * int list
+(** Reduced row-echelon form and the pivot column indices (increasing). *)
+
+val solve : Gf2p.t -> Matrix.t -> int array -> int array option
+(** [solve f a b] is some [x] with [a x = b] (column-vector convention), or
+    [None] if inconsistent. When the system is underdetermined an arbitrary
+    solution is returned (free variables set to zero). *)
+
+val kernel_basis : Gf2p.t -> Matrix.t -> int array list
+(** Basis of the right null space [{x | a x = 0}]; empty for injective maps. *)
+
+val has_invertible_submatrix : Gf2p.t -> Matrix.t -> bool
+(** Whether an r x c matrix with r <= c contains an invertible r x r column
+    submatrix, i.e. the matrix has full row rank. This is exactly the
+    condition on the expanded coding matrix C_H in Appendix C. *)

@@ -1,0 +1,114 @@
+open Nab_field
+
+type t = { nr : int; nc : int; data : int array (* row-major *) }
+
+let create nr nc =
+  if nr < 0 || nc < 0 then invalid_arg "Matrix.create: negative dimension";
+  { nr; nc; data = Array.make (nr * nc) 0 }
+
+let init nr nc f =
+  if nr < 0 || nc < 0 then invalid_arg "Matrix.init: negative dimension";
+  { nr; nc; data = Array.init (nr * nc) (fun k -> f (k / nc) (k mod nc)) }
+
+let identity n = init n n (fun i j -> if i = j then 1 else 0)
+let rows a = a.nr
+let cols a = a.nc
+
+let get a i j =
+  if i < 0 || i >= a.nr || j < 0 || j >= a.nc then invalid_arg "Matrix.get";
+  a.data.((i * a.nc) + j)
+
+let set a i j v =
+  if i < 0 || i >= a.nr || j < 0 || j >= a.nc then invalid_arg "Matrix.set";
+  let data = Array.copy a.data in
+  data.((i * a.nc) + j) <- v;
+  { a with data }
+
+let of_arrays rows =
+  let nr = Array.length rows in
+  let nc = if nr = 0 then 0 else Array.length rows.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> nc then invalid_arg "Matrix.of_arrays: ragged")
+    rows;
+  init nr nc (fun i j -> rows.(i).(j))
+
+let to_arrays a = Array.init a.nr (fun i -> Array.sub a.data (i * a.nc) a.nc)
+let row a i = Array.sub a.data (i * a.nc) a.nc
+let col a j = Array.init a.nr (fun i -> get a i j)
+let transpose a = init a.nc a.nr (fun i j -> get a j i)
+let equal a b = a.nr = b.nr && a.nc = b.nc && a.data = b.data
+let is_zero a = Array.for_all (fun x -> x = 0) a.data
+
+let add f a b =
+  if a.nr <> b.nr || a.nc <> b.nc then invalid_arg "Matrix.add: shape mismatch";
+  { a with data = Array.mapi (fun k x -> Gf2p.add f x b.data.(k)) a.data }
+
+let mul f a b =
+  if a.nc <> b.nr then invalid_arg "Matrix.mul: shape mismatch";
+  let c = Array.make (a.nr * b.nc) 0 in
+  for i = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let aik = a.data.((i * a.nc) + k) in
+      if aik <> 0 then
+        for j = 0 to b.nc - 1 do
+          let idx = (i * b.nc) + j in
+          c.(idx) <- Gf2p.add f c.(idx) (Gf2p.mul f aik b.data.((k * b.nc) + j))
+        done
+    done
+  done;
+  { nr = a.nr; nc = b.nc; data = c }
+
+let scale f s a = { a with data = Array.map (fun x -> Gf2p.mul f s x) a.data }
+
+let vec_mul f x a =
+  if Array.length x <> a.nr then invalid_arg "Matrix.vec_mul: shape mismatch";
+  let y = Array.make a.nc 0 in
+  for i = 0 to a.nr - 1 do
+    if x.(i) <> 0 then
+      for j = 0 to a.nc - 1 do
+        y.(j) <- Gf2p.add f y.(j) (Gf2p.mul f x.(i) a.data.((i * a.nc) + j))
+      done
+  done;
+  y
+
+let mul_vec f a x =
+  if Array.length x <> a.nc then invalid_arg "Matrix.mul_vec: shape mismatch";
+  Array.init a.nr (fun i ->
+      let acc = ref 0 in
+      for j = 0 to a.nc - 1 do
+        acc := Gf2p.add f !acc (Gf2p.mul f a.data.((i * a.nc) + j) x.(j))
+      done;
+      !acc)
+
+let hcat a b =
+  if a.nr <> b.nr then invalid_arg "Matrix.hcat: row mismatch";
+  init a.nr (a.nc + b.nc) (fun i j ->
+      if j < a.nc then get a i j else get b i (j - a.nc))
+
+let vcat a b =
+  if a.nc <> b.nc then invalid_arg "Matrix.vcat: column mismatch";
+  init (a.nr + b.nr) a.nc (fun i j ->
+      if i < a.nr then get a i j else get b (i - a.nr) j)
+
+let hcat_list ~rows blocks = List.fold_left hcat (create rows 0) blocks
+
+let sub_matrix a ~row ~col ~rows ~cols =
+  if row < 0 || col < 0 || rows < 0 || cols < 0 || row + rows > a.nr || col + cols > a.nc
+  then invalid_arg "Matrix.sub_matrix: out of range";
+  init rows cols (fun i j -> get a (row + i) (col + j))
+
+let select_cols a js =
+  let js = Array.of_list js in
+  Array.iter (fun j -> if j < 0 || j >= a.nc then invalid_arg "Matrix.select_cols") js;
+  init a.nr (Array.length js) (fun i j -> get a i js.(j))
+
+let map f a = { a with data = Array.map f a.data }
+let random fld nr nc st = init nr nc (fun _ _ -> Gf2p.random fld st)
+
+let pp f fmt a =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to a.nr - 1 do
+    if i > 0 then Format.fprintf fmt "@,";
+    Vec.pp f fmt (row a i)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,31 @@
+open Nab_field
+
+let zero n = Array.make n 0
+
+let check_same_length a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec: length mismatch"
+
+let add f a b =
+  check_same_length a b;
+  Array.mapi (fun i ai -> Gf2p.add f ai b.(i)) a
+
+let sub = add
+
+let scale f c a = Array.map (fun ai -> Gf2p.mul f c ai) a
+
+let dot f a b =
+  check_same_length a b;
+  let acc = ref 0 in
+  Array.iteri (fun i ai -> acc := Gf2p.add f !acc (Gf2p.mul f ai b.(i))) a;
+  !acc
+
+let is_zero a = Array.for_all (fun x -> x = 0) a
+let equal a b = a = b
+let random f n st = Array.init n (fun _ -> Gf2p.random f st)
+
+let pp f fmt a =
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_seq
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+       (Gf2p.pp f))
+    (Array.to_seq a)

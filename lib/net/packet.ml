@@ -1,0 +1,21 @@
+type t = {
+  proto : string;
+  origin : int;
+  final_dst : int;
+  route : int list;
+  payload : Wire.payload;
+}
+
+(* Only information bits are charged, as in the paper's model; the envelope
+   is protocol structure (akin to the paper specifying, statically, which
+   symbol travels on which link at which time). *)
+let bits p = Wire.bits p.payload
+
+let direct ~proto ~origin ~dst payload =
+  { proto; origin; final_dst = dst; route = []; payload }
+
+let pp fmt p =
+  Format.fprintf fmt "{%s %d=>%d via [%a] %a}" p.proto p.origin p.final_dst
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ';')
+       Format.pp_print_int)
+    p.route Wire.pp p.payload

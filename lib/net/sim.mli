@@ -1,0 +1,82 @@
+(** Synchronous point-to-point network simulator with per-link capacity
+    accounting — the paper's timing model made executable.
+
+    The engine is a message fabric, not an inversion-of-control framework:
+    each call to {!round} takes every node's outbox, delivers messages along
+    existing directed links, and returns the inboxes for the next step. The
+    protocol orchestration (who sends what, which nodes are faulty, what the
+    adversary does) lives in the caller.
+
+    Timing model: all links transmit in parallel; a round in which link e of
+    capacity z_e carries b_e bits lasts [max_e b_e / z_e] time units (the
+    paper's deterministic capacity model: z_e * tau bits in tau time).
+    Rounds are grouped into named phases; for each phase both the wall-clock
+    sum of round durations and the bottleneck (max) round duration are
+    tracked. The bottleneck value is the steady-state per-instance cost under
+    the paper's Figure-3 pipelining, where successive instances overlap with
+    one round per hop. *)
+
+type 'm t
+
+val create :
+  ?delays:(int * int -> int) -> Nab_graph.Digraph.t -> bits:('m -> int) -> 'm t
+(** A fresh simulator on the given network. [bits] gives the wire size of a
+    message; it must be positive. [delays (src, dst)] is the propagation
+    delay of a link in whole rounds (default 0 everywhere): a message sent
+    in round r is delivered by the (r + delay)-th call to {!round}. The
+    paper assumes zero delays and notes that relaxing this does not affect
+    correctness (footnote 1, Appendix D); the delayed mode lets tests and
+    benchmarks check that claim on the data plane. *)
+
+val graph : 'm t -> Nab_graph.Digraph.t
+
+val round : 'm t -> phase:string -> (int -> (int * 'm) list) -> int -> (int * 'm) list
+(** [round sim ~phase outbox] delivers one synchronous round: [outbox v] is
+    the list of [(destination, message)] pairs sent by node [v]. Messages on
+    non-existent links are dropped (and counted in {!dropped}): a node —
+    faulty or not — cannot invent links. The result maps each node to its
+    inbox as [(sender, message)] pairs, sorted by sender. *)
+
+type phase_stat = {
+  phase : string;
+  rounds : int;
+  wall : float; (** sum of round durations *)
+  bottleneck : float; (** max round duration = pipelined per-instance cost *)
+  bits_total : int;
+  extra : float; (** analytic cost added via {!add_cost} *)
+}
+
+val elapsed : 'm t -> float
+(** Total wall time: sum over rounds of the round duration, plus all
+    analytic costs. *)
+
+val pipelined_elapsed : 'm t -> float
+(** Sum over phases of (bottleneck + extra): the steady-state per-instance
+    cost under Figure-3 pipelining. *)
+
+val phase_stats : 'm t -> phase_stat list
+(** In first-use order. *)
+
+val add_cost : 'm t -> phase:string -> float -> unit
+(** Account analytically-modelled time (e.g. a sub-protocol simulated at a
+    coarser granularity) into a phase. *)
+
+val link_bits : 'm t -> ((int * int) * int) list
+(** Total bits carried per link over the whole run, sorted. *)
+
+val dropped : 'm t -> int
+(** Number of messages addressed to non-existent links. *)
+
+val utilization : 'm t -> ((int * int) * float) list
+(** Per-link utilisation over the whole run: bits carried divided by
+    capacity x wall time — 1.0 means the link was saturated for the entire
+    run. Empty if no time has elapsed. Sorted by link. *)
+
+type 'm event = { round_no : int; ev_phase : string; src : int; dst : int; msg : 'm }
+
+val events : 'm t -> 'm event list
+(** Full delivery trace in chronological order — the ground truth that
+    honest nodes' dispute-control claims are drawn from. *)
+
+val events_of_phase : 'm t -> string -> 'm event list
+val rounds_run : 'm t -> int

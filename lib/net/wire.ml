@@ -1,0 +1,54 @@
+type dir = Sent | Received
+
+type payload =
+  | Flag of bool
+  | Value of { bits : int; data : int array }
+  | Coded of { sym_bits : int; data : int array }
+  | Labeled of { label : int list; body : payload }
+  | Batch of payload list
+  | Claims of claim list
+  | Nothing
+
+and claim = {
+  c_phase : string;
+  c_round : int;
+  c_src : int;
+  c_dst : int;
+  c_dir : dir;
+  c_body : payload;
+}
+
+let rec bits = function
+  | Flag _ -> 1
+  | Value { bits = b; _ } -> max 1 b
+  | Coded { sym_bits; data } -> max 1 (sym_bits * Array.length data)
+  | Labeled { label; body } -> (8 * List.length label) + bits body
+  | Batch ps -> max 1 (List.fold_left (fun acc p -> acc + bits p) 0 ps)
+  | Claims cs -> max 1 (List.fold_left (fun acc c -> acc + 32 + bits c.c_body) 0 cs)
+  | Nothing -> 1
+
+let equal (a : payload) (b : payload) = a = b
+
+let pp_dir fmt = function
+  | Sent -> Format.pp_print_string fmt "sent"
+  | Received -> Format.pp_print_string fmt "received"
+
+let rec pp fmt = function
+  | Flag b -> Format.fprintf fmt "Flag %b" b
+  | Value { bits = b; data } ->
+      Format.fprintf fmt "Value(%db, %d syms)" b (Array.length data)
+  | Coded { sym_bits; data } ->
+      Format.fprintf fmt "Coded(%d x %db)" (Array.length data) sym_bits
+  | Labeled { label; body } ->
+      Format.fprintf fmt "Labeled(%a: %a)"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_char fmt '.')
+           Format.pp_print_int)
+        label pp body
+  | Batch ps -> Format.fprintf fmt "Batch(%d)" (List.length ps)
+  | Claims cs ->
+      Format.fprintf fmt "Claims(%d)@[<v>%a@]" (List.length cs)
+        (Format.pp_print_list (fun fmt c ->
+             Format.fprintf fmt "@,[%s r%d %d->%d %a %a]" c.c_phase c.c_round c.c_src
+               c.c_dst pp_dir c.c_dir pp c.c_body))
+        cs
+  | Nothing -> Format.pp_print_string fmt "Nothing"

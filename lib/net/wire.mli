@@ -1,0 +1,40 @@
+(** Universal wire payload for every protocol layer in the repository. Using
+    one closed type (rather than a functorized payload) keeps the adversary
+    code type-safe: a Byzantine node can emit arbitrary {e well-formed}
+    payloads — exactly the paper's model, where faulty nodes send arbitrary
+    bit strings and honest nodes parse them against the protocol schema.
+
+    Bit accounting follows the paper: only protocol-level information bits
+    are charged (a 1-bit flag costs 1 bit), plus explicit per-label/header
+    overhead where a real encoding would need it. *)
+
+type dir = Sent | Received
+
+type payload =
+  | Flag of bool  (** 1 bit *)
+  | Value of { bits : int; data : int array }
+      (** An L-bit broadcast value, as [rho] symbols of [bits/rho] bits; the
+          declared [bits] is the wire size. *)
+  | Coded of { sym_bits : int; data : int array }
+      (** Equality-check coded symbols: [len data * sym_bits] bits. *)
+  | Labeled of { label : int list; body : payload }
+      (** EIG-labelled value; the label costs 8 bits per element. *)
+  | Batch of payload list  (** Concatenation; at least 1 bit on the wire. *)
+  | Claims of claim list
+      (** Dispute-control transcript claims; 32-bit header per claim. *)
+  | Nothing  (** Explicit absence (1 bit). *)
+
+and claim = {
+  c_phase : string;
+  c_round : int;
+  c_src : int;
+  c_dst : int;
+  c_dir : dir;
+  c_body : payload;
+}
+
+val bits : payload -> int
+(** Wire size in bits; always >= 1. *)
+
+val equal : payload -> payload -> bool
+val pp : Format.formatter -> payload -> unit

@@ -1,0 +1,414 @@
+(* Tests for Numth, Gf2p, Gf256 and Poly. *)
+
+open Nab_field
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- Numth ---------- *)
+
+let test_is_prime_small () =
+  let primes = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47 ] in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is_prime %d" n)
+        (List.mem n primes) (Numth.is_prime n))
+    (List.init 48 Fun.id)
+
+let test_is_prime_mersenne () =
+  Alcotest.(check bool) "2^61-1 prime" true (Numth.is_prime ((1 lsl 61) - 1));
+  Alcotest.(check bool) "2^61-3 composite" false (Numth.is_prime ((1 lsl 61) - 3));
+  Alcotest.(check bool) "2^31-1 prime" true (Numth.is_prime ((1 lsl 31) - 1))
+
+let test_factor_reconstructs () =
+  List.iter
+    (fun n ->
+      let fs = Numth.factor n in
+      let prod =
+        List.fold_left
+          (fun acc (p, k) ->
+            Alcotest.(check bool) (Printf.sprintf "%d prime" p) true (Numth.is_prime p);
+            let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+            acc * pow p k)
+          1 fs
+      in
+      Alcotest.(check int) (Printf.sprintf "factor %d" n) n prod)
+    [ 1; 2; 12; 97; 1024; 3 * 5 * 17 * 257; (1 lsl 32) - 1; 600851475143; 999999999989 ]
+
+let test_mulmod_powmod () =
+  Alcotest.(check int) "mulmod" ((123456789 * 987) mod 1000003)
+    (Numth.mulmod (123456789 mod 1000003) 987 1000003);
+  (* Fermat: 2^(p-1) = 1 mod p *)
+  let p = (1 lsl 31) - 1 in
+  Alcotest.(check int) "fermat" 1 (Numth.powmod 2 (p - 1) p);
+  let big = (1 lsl 61) - 1 in
+  Alcotest.(check int) "fermat 2^61-1" 1 (Numth.powmod 3 (big - 1) big)
+
+let test_prime_divisors () =
+  Alcotest.(check (list int)) "60" [ 2; 3; 5 ] (Numth.prime_divisors 60);
+  Alcotest.(check (list int)) "1" [] (Numth.prime_divisors 1)
+
+let test_factor_property =
+  qtest ~count:300 "factor reconstructs and yields primes"
+    QCheck2.Gen.(int_range 1 1_000_000_000)
+    (fun n ->
+      let fs = Numth.factor n in
+      let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+      List.for_all (fun (p, k) -> k >= 1 && Numth.is_prime p) fs
+      && List.fold_left (fun acc (p, k) -> acc * pow p k) 1 fs = n
+      && List.sort compare (List.map fst fs) = List.map fst fs)
+
+let test_mulmod_property =
+  qtest ~count:300 "mulmod agrees with exact product"
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_bound 1_000_000) (int_range 2 2_000_000))
+    (fun (a, b, n) ->
+      let a = a mod n and b = b mod n in
+      Numth.mulmod a b n = a * b mod n)
+
+(* ---------- Gf2p ---------- *)
+
+let fields = List.map Gf2p.create [ 1; 2; 3; 4; 8; 13; 16; 24; 32; 48; 61 ]
+
+let elt_gen f = QCheck2.Gen.int_bound ((1 lsl Gf2p.degree f) - 1)
+
+let test_create_bounds () =
+  Alcotest.check_raises "degree 0" (Gf2p.Invalid_degree 0) (fun () ->
+      ignore (Gf2p.create 0));
+  Alcotest.check_raises "degree 62" (Gf2p.Invalid_degree 62) (fun () ->
+      ignore (Gf2p.create 62))
+
+let test_known_irreducibles () =
+  Alcotest.(check bool) "x^2+x+1" true (Gf2p.irreducible ~m:2 ~poly:0b111);
+  Alcotest.(check bool) "x^2+1 reducible" false (Gf2p.irreducible ~m:2 ~poly:0b101);
+  Alcotest.(check bool) "x^3+x+1" true (Gf2p.irreducible ~m:3 ~poly:0b1011);
+  Alcotest.(check bool) "x^4+x+1" true (Gf2p.irreducible ~m:4 ~poly:0b10011);
+  Alcotest.(check bool) "x^4+x^2+1 reducible" false (Gf2p.irreducible ~m:4 ~poly:0b10101);
+  Alcotest.(check bool) "aes poly" true (Gf2p.irreducible ~m:8 ~poly:0x11B);
+  (* x^8 + x^4 + x^3 + x^2 + 1 is also irreducible *)
+  Alcotest.(check bool) "0x11D" true (Gf2p.irreducible ~m:8 ~poly:0x11D)
+
+let test_create_with_poly_validates () =
+  Alcotest.check_raises "reducible rejected"
+    (Invalid_argument "Gf2p.create_with_poly: polynomial is reducible") (fun () ->
+      ignore (Gf2p.create_with_poly ~m:2 ~poly:0b101))
+
+let field_axiom_tests =
+  List.concat_map
+    (fun f ->
+      let m = Gf2p.degree f in
+      let pair = QCheck2.Gen.pair (elt_gen f) (elt_gen f) in
+      let triple = QCheck2.Gen.triple (elt_gen f) (elt_gen f) (elt_gen f) in
+      [
+        qtest (Printf.sprintf "GF(2^%d) mul assoc" m) triple (fun (a, b, c) ->
+            Gf2p.mul f (Gf2p.mul f a b) c = Gf2p.mul f a (Gf2p.mul f b c));
+        qtest (Printf.sprintf "GF(2^%d) mul comm" m) pair (fun (a, b) ->
+            Gf2p.mul f a b = Gf2p.mul f b a);
+        qtest (Printf.sprintf "GF(2^%d) distributivity" m) triple (fun (a, b, c) ->
+            Gf2p.mul f a (Gf2p.add f b c)
+            = Gf2p.add f (Gf2p.mul f a b) (Gf2p.mul f a c));
+        qtest (Printf.sprintf "GF(2^%d) mul identity" m) (elt_gen f) (fun a ->
+            Gf2p.mul f a Gf2p.one = a);
+        qtest (Printf.sprintf "GF(2^%d) add self-inverse" m) (elt_gen f) (fun a ->
+            Gf2p.add f a a = Gf2p.zero);
+        qtest (Printf.sprintf "GF(2^%d) inverse" m) (elt_gen f) (fun a ->
+            a = 0 || Gf2p.mul f a (Gf2p.inv f a) = Gf2p.one);
+        qtest (Printf.sprintf "GF(2^%d) div mul roundtrip" m) pair (fun (a, b) ->
+            b = 0 || Gf2p.mul f (Gf2p.div f a b) b = a);
+        qtest (Printf.sprintf "GF(2^%d) sq consistent" m) (elt_gen f) (fun a ->
+            Gf2p.sq f a = Gf2p.mul f a a);
+        qtest (Printf.sprintf "GF(2^%d) frobenius additive" m) pair (fun (a, b) ->
+            Gf2p.sq f (Gf2p.add f a b) = Gf2p.add f (Gf2p.sq f a) (Gf2p.sq f b));
+      ])
+    fields
+
+let test_pow_laws () =
+  let f = Gf2p.create 16 in
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 100 do
+    let a = Gf2p.random_nonzero f st in
+    let i = Random.State.int st 100 and j = Random.State.int st 100 in
+    Alcotest.(check int) "pow add law"
+      (Gf2p.pow f a (i + j))
+      (Gf2p.mul f (Gf2p.pow f a i) (Gf2p.pow f a j))
+  done;
+  Alcotest.(check int) "x^0" Gf2p.one (Gf2p.pow f 0 0);
+  (* Lagrange: a^(2^m - 1) = 1 *)
+  let order_group = Gf2p.order f - 1 in
+  Alcotest.(check int) "group order" Gf2p.one (Gf2p.pow f 0x1234 order_group)
+
+(* Independent oracle: textbook shift-and-xor multiplication written here,
+   guarding against bugs in the library's internal table acceleration. *)
+let test_mul_against_inline_oracle () =
+  List.iter
+    (fun m ->
+      let f = Gf2p.create m in
+      let full = Gf2p.reduction_poly f in
+      let taps = full land ((1 lsl m) - 1) in
+      let oracle a b =
+        let hi = 1 lsl (m - 1) and mask = (1 lsl m) - 1 in
+        let rec go a b acc =
+          if b = 0 then acc
+          else
+            let acc = if b land 1 = 1 then acc lxor a else acc in
+            let a = if a land hi <> 0 then ((a lsl 1) land mask) lxor taps else a lsl 1 in
+            go a (b lsr 1) acc
+        in
+        go a b 0
+      in
+      let st = Random.State.make [| m; 3 |] in
+      for _ = 1 to 1000 do
+        let a = Gf2p.random f st and b = Gf2p.random f st in
+        Alcotest.(check int)
+          (Printf.sprintf "m=%d: %d*%d" m a b)
+          (oracle a b) (Gf2p.mul f a b)
+      done)
+    [ 2; 3; 8; 13; 14; 16; 32; 61 ]
+
+let test_of_int_reduces () =
+  let f = Gf2p.create 8 in
+  Alcotest.(check bool) "reduced valid" true (Gf2p.is_valid f (Gf2p.of_int f 0x1FF00));
+  Alcotest.(check int) "small unchanged" 0x42 (Gf2p.of_int f 0x42)
+
+let test_generator_order () =
+  List.iter
+    (fun m ->
+      let f = Gf2p.create m in
+      let g = Gf2p.generator f in
+      let n = Gf2p.order f - 1 in
+      Alcotest.(check int) (Printf.sprintf "g^%d = 1 in GF(2^%d)" n m) Gf2p.one
+        (Gf2p.pow f g n);
+      (* g must not have smaller order: check proper divisors n/p. *)
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "g^(n/%d) <> 1" p)
+            true
+            (Gf2p.pow f g (n / p) <> Gf2p.one))
+        (Numth.prime_divisors n))
+    [ 2; 3; 4; 8; 12; 16 ]
+
+(* ---------- Gf256 cross-check ---------- *)
+
+let test_gf256_matches_generic () =
+  let f = Gf256.field in
+  for a = 0 to 255 do
+    let b = (a * 37) land 0xff in
+    Alcotest.(check int) "mul" (Gf2p.mul f a b) (Gf256.mul a b);
+    if a > 0 then Alcotest.(check int) "inv" (Gf2p.inv f a) (Gf256.inv a)
+  done
+
+let test_gf256_log_exp () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "exp(log a) = a" a (Gf256.exp (Gf256.log a))
+  done
+
+(* ---------- Field_intf functor ---------- *)
+
+let test_field_intf_functor () =
+  let module F = Field_intf.Make (struct
+    let degree = 8
+  end) in
+  Alcotest.(check int) "degree" 8 (Gf2p.degree F.field);
+  let st = Random.State.make [| 9 |] in
+  for _ = 1 to 200 do
+    let a = F.random st and b = F.random st in
+    Alcotest.(check int) "matches value API" (Gf2p.mul F.field a b) (F.mul a b);
+    if a <> F.zero then
+      Alcotest.(check bool) "inverse" true (F.equal (F.mul a (F.inv a)) F.one)
+  done;
+  Alcotest.(check int) "pow" (Gf2p.pow F.field 3 7) (F.pow 3 7)
+
+(* ---------- Gf2p_table ---------- *)
+
+let test_table_matches_generic () =
+  List.iter
+    (fun m ->
+      let t = Gf2p_table.create m in
+      let f = Gf2p_table.generic t in
+      let st = Random.State.make [| m; 77 |] in
+      for _ = 1 to 500 do
+        let a = Gf2p.random f st and b = Gf2p.random f st in
+        Alcotest.(check int) "mul" (Gf2p.mul f a b) (Gf2p_table.mul t a b);
+        if a > 0 then begin
+          Alcotest.(check int) "inv" (Gf2p.inv f a) (Gf2p_table.inv t a);
+          Alcotest.(check int) "div" (Gf2p.div f b a) (Gf2p_table.div t b a)
+        end;
+        let e = Random.State.int st 1000 in
+        Alcotest.(check int) "pow" (Gf2p.pow f a e) (Gf2p_table.pow t a e)
+      done)
+    [ 2; 4; 8; 12; 16 ]
+
+let test_table_bounds () =
+  Alcotest.check_raises "m=1" (Gf2p.Invalid_degree 1) (fun () ->
+      ignore (Gf2p_table.create 1));
+  Alcotest.check_raises "m=17" (Gf2p.Invalid_degree 17) (fun () ->
+      ignore (Gf2p_table.create 17));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Gf2p_table.inv (Gf2p_table.create 8) 0))
+
+(* ---------- Reed-Solomon ---------- *)
+
+let test_rs_roundtrip () =
+  let fld = Gf2p.create 8 in
+  let st = Random.State.make [| 31 |] in
+  for _ = 1 to 100 do
+    let k = 1 + Random.State.int st 6 in
+    let n = k + Random.State.int st 6 in
+    let rs = Rs.create fld ~k ~n in
+    let data = Array.init k (fun _ -> Gf2p.random fld st) in
+    let code = Rs.encode rs data in
+    (* Systematic prefix. *)
+    Alcotest.(check (array int)) "systematic" data (Array.sub code 0 k);
+    (* Any k surviving coordinates decode. *)
+    let coords = Array.init n Fun.id in
+    (* Shuffle and keep k. *)
+    for i = n - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let tmp = coords.(i) in
+      coords.(i) <- coords.(j);
+      coords.(j) <- tmp
+    done;
+    let shares = List.init k (fun i -> (coords.(i), code.(coords.(i)))) in
+    Alcotest.(check (array int)) "erasure decode" data (Rs.decode_exn rs shares)
+  done
+
+let test_rs_insufficient_shares () =
+  let fld = Gf2p.create 8 in
+  let rs = Rs.create fld ~k:3 ~n:6 in
+  let code = Rs.encode rs [| 1; 2; 3 |] in
+  Alcotest.(check bool) "two shares fail" true
+    (Rs.decode rs [ (0, code.(0)); (5, code.(5)) ] = None);
+  (* Duplicate coordinates do not count twice. *)
+  Alcotest.(check bool) "duplicates collapse" true
+    (Rs.decode rs [ (0, code.(0)); (0, code.(0)); (0, code.(0)) ] = None)
+
+let test_rs_validates () =
+  let fld = Gf2p.create 4 in
+  Alcotest.check_raises "n too large for field"
+    (Invalid_argument "Rs.create: need 1 <= k <= n <= |field|") (fun () ->
+      ignore (Rs.create fld ~k:2 ~n:17));
+  let rs = Rs.create fld ~k:2 ~n:4 in
+  Alcotest.check_raises "wrong data length" (Invalid_argument "Rs.encode: wrong data length")
+    (fun () -> ignore (Rs.encode rs [| 1 |]))
+
+(* ---------- Poly ---------- *)
+
+let f8 = Gf2p.create 8
+
+let test_poly_basic () =
+  let p = Poly.of_coeffs f8 [| 1; 2; 3 |] in
+  Alcotest.(check int) "degree" 2 (Poly.degree p);
+  Alcotest.(check int) "degree zero" (-1) (Poly.degree Poly.zero);
+  Alcotest.(check bool) "strip trailing" true
+    (Poly.equal p (Poly.of_coeffs f8 [| 1; 2; 3; 0; 0 |]));
+  Alcotest.(check int) "eval at 0 = constant" 1 (Poly.eval f8 p 0);
+  Alcotest.(check int) "constant eval" 7 (Poly.eval f8 (Poly.constant f8 7) 99)
+
+let poly_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> Poly.of_coeffs f8 (Array.of_list l))
+      (list_size (int_bound 6) (int_bound 255)))
+
+let test_poly_mul_degree =
+  qtest "poly mul degree adds" (QCheck2.Gen.pair poly_gen poly_gen) (fun (p, q) ->
+      Poly.is_zero p || Poly.is_zero q
+      || Poly.degree (Poly.mul f8 p q) = Poly.degree p + Poly.degree q)
+
+let test_poly_eval_hom =
+  qtest "poly eval is a ring hom"
+    (QCheck2.Gen.triple poly_gen poly_gen (QCheck2.Gen.int_bound 255))
+    (fun (p, q, x) ->
+      Poly.eval f8 (Poly.add f8 p q) x = Gf2p.add f8 (Poly.eval f8 p x) (Poly.eval f8 q x)
+      && Poly.eval f8 (Poly.mul f8 p q) x
+         = Gf2p.mul f8 (Poly.eval f8 p x) (Poly.eval f8 q x))
+
+let test_interpolate_roundtrip () =
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 50 do
+    let deg = Random.State.int st 5 in
+    let p = Poly.random f8 ~degree:deg st in
+    let pts = List.init (deg + 1) (fun i -> (i, Poly.eval f8 p i)) in
+    let q = Poly.interpolate f8 pts in
+    Alcotest.(check bool) "interpolation recovers" true (Poly.equal p q)
+  done
+
+let test_interpolate_rejects_dups () =
+  Alcotest.check_raises "duplicate points"
+    (Invalid_argument "Poly.interpolate: duplicate points") (fun () ->
+      ignore (Poly.interpolate f8 [ (1, 2); (1, 3) ]))
+
+(* Empirical Schwartz-Zippel (the tool behind the paper's Lemma 2): a nonzero
+   degree-d polynomial has at most d roots, so a random point is a root with
+   probability <= d / |F|. *)
+let test_schwartz_zippel () =
+  let st = Random.State.make [| 21 |] in
+  let trials = 2000 and deg = 4 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let p = Poly.random f8 ~degree:deg st in
+    let x = Gf2p.random f8 st in
+    if Poly.eval f8 p x = 0 then incr hits
+  done;
+  let bound = float_of_int deg /. 256.0 in
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "root rate %.4f <= 2x bound %.4f" rate (2.0 *. bound))
+    true
+    (rate <= 2.0 *. bound)
+
+let () =
+  Alcotest.run "field"
+    [
+      ( "numth",
+        [
+          Alcotest.test_case "is_prime small" `Quick test_is_prime_small;
+          Alcotest.test_case "is_prime mersenne" `Quick test_is_prime_mersenne;
+          Alcotest.test_case "factor reconstructs" `Quick test_factor_reconstructs;
+          Alcotest.test_case "mulmod powmod" `Quick test_mulmod_powmod;
+          Alcotest.test_case "prime divisors" `Quick test_prime_divisors;
+          test_factor_property;
+          test_mulmod_property;
+        ] );
+      ( "gf2p",
+        [
+          Alcotest.test_case "create bounds" `Quick test_create_bounds;
+          Alcotest.test_case "known irreducibles" `Quick test_known_irreducibles;
+          Alcotest.test_case "create_with_poly validates" `Quick
+            test_create_with_poly_validates;
+          Alcotest.test_case "mul vs inline oracle" `Quick test_mul_against_inline_oracle;
+          Alcotest.test_case "pow laws" `Quick test_pow_laws;
+          Alcotest.test_case "of_int reduces" `Quick test_of_int_reduces;
+          Alcotest.test_case "generator order" `Quick test_generator_order;
+        ]
+        @ field_axiom_tests );
+      ( "gf256",
+        [
+          Alcotest.test_case "matches generic field" `Quick test_gf256_matches_generic;
+          Alcotest.test_case "log exp roundtrip" `Quick test_gf256_log_exp;
+        ] );
+      ( "field-intf",
+        [ Alcotest.test_case "functor view" `Quick test_field_intf_functor ] );
+      ( "gf2p-table",
+        [
+          Alcotest.test_case "matches generic" `Quick test_table_matches_generic;
+          Alcotest.test_case "bounds" `Quick test_table_bounds;
+        ] );
+      ( "reed-solomon",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rs_roundtrip;
+          Alcotest.test_case "insufficient shares" `Quick test_rs_insufficient_shares;
+          Alcotest.test_case "validation" `Quick test_rs_validates;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "basics" `Quick test_poly_basic;
+          test_poly_mul_degree;
+          test_poly_eval_hom;
+          Alcotest.test_case "interpolate roundtrip" `Quick test_interpolate_roundtrip;
+          Alcotest.test_case "interpolate rejects dups" `Quick
+            test_interpolate_rejects_dups;
+          Alcotest.test_case "schwartz-zippel" `Quick test_schwartz_zippel;
+        ] );
+    ]

@@ -1,0 +1,548 @@
+(* Tests for the graph substrate: Digraph, Ugraph, Maxflow, Stoer_wagner,
+   Connectivity, Arborescence, Spanning, Gen. *)
+
+open Nab_graph
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Random small symmetric digraph generator for property tests. *)
+let graph_gen =
+  QCheck2.Gen.(
+    pair (int_range 3 7) (int_range 0 10_000) >>= fun (n, seed) ->
+    return (Gen.random_connected ~n ~p:0.7 ~min_cap:1 ~max_cap:4 ~seed))
+
+(* ---------- Digraph basics ---------- *)
+
+let test_digraph_crud () =
+  let g = Digraph.of_edges ~vertices:[ 9 ] [ (1, 2, 3); (2, 1, 1); (2, 3, 2) ] in
+  Alcotest.(check int) "vertices" 4 (Digraph.num_vertices g);
+  Alcotest.(check int) "edges" 3 (Digraph.num_edges g);
+  Alcotest.(check int) "cap" 3 (Digraph.cap g 1 2);
+  Alcotest.(check int) "missing cap" 0 (Digraph.cap g 3 1);
+  Alcotest.(check int) "total capacity" 6 (Digraph.total_capacity g);
+  Alcotest.(check (list int)) "neighbors of 2" [ 1; 3 ] (Digraph.neighbors g 2);
+  Alcotest.(check int) "out degree" 2 (Digraph.out_degree g 2);
+  Alcotest.(check int) "in degree" 1 (Digraph.in_degree g 2);
+  let g' = Digraph.remove_vertex g 2 in
+  Alcotest.(check int) "vertex removal drops edges" 0 (Digraph.num_edges g');
+  Alcotest.(check bool) "vertex gone" false (Digraph.mem_vertex g' 2);
+  let g'' = Digraph.remove_pair g 1 2 in
+  Alcotest.(check int) "remove_pair kills both" 1 (Digraph.num_edges g'')
+
+let test_digraph_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Digraph.add_edge: capacity must be positive") (fun () ->
+      ignore (Digraph.add_edge Digraph.empty ~src:1 ~dst:2 ~cap:0));
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.add_edge: self-loop")
+    (fun () -> ignore (Digraph.add_edge Digraph.empty ~src:1 ~dst:1 ~cap:1))
+
+let test_induced () =
+  let g = Gen.complete ~n:5 ~cap:1 in
+  let sub = Digraph.induced g (Vset.of_list [ 1; 2; 3 ]) in
+  Alcotest.(check int) "induced vertices" 3 (Digraph.num_vertices sub);
+  Alcotest.(check int) "induced edges" 6 (Digraph.num_edges sub);
+  Alcotest.(check bool) "is subgraph" true (Digraph.subgraph_p g ~sub)
+
+let test_reachable () =
+  let g = Digraph.of_edges [ (1, 2, 1); (2, 3, 1) ] in
+  Alcotest.(check bool) "1 reaches 3" true (Vset.mem 3 (Digraph.reachable g 1));
+  Alcotest.(check bool) "3 reaches nothing" false (Vset.mem 1 (Digraph.reachable g 3));
+  Alcotest.(check bool) "not strongly connected" false (Digraph.is_strongly_connected g);
+  Alcotest.(check bool) "complete strongly connected" true
+    (Digraph.is_strongly_connected (Gen.complete ~n:4 ~cap:1))
+
+(* ---------- Ugraph ---------- *)
+
+let test_ugraph_of_digraph () =
+  let d = Digraph.of_edges [ (1, 2, 2); (2, 1, 3); (2, 3, 1) ] in
+  let u = Ugraph.of_digraph d in
+  Alcotest.(check int) "sum of directions" 5 (Ugraph.cap u 1 2);
+  Alcotest.(check int) "one direction only" 1 (Ugraph.cap u 3 2);
+  Alcotest.(check int) "undirected edge count" 2 (Ugraph.num_edges u)
+
+let test_ugraph_symmetry =
+  qtest "of_digraph symmetric caps" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      List.for_all (fun (a, b, c) -> Ugraph.cap u b a = c) (Ugraph.edges u))
+
+(* ---------- Maxflow ---------- *)
+
+let test_figure1_mincuts () =
+  (* The exact numbers the paper states for Figure 1(a). *)
+  let g = Gen.figure1a in
+  Alcotest.(check int) "MINCUT(1,2)" 2 (Maxflow.max_flow g ~src:1 ~dst:2);
+  Alcotest.(check int) "MINCUT(1,3)" 3 (Maxflow.max_flow g ~src:1 ~dst:3);
+  Alcotest.(check int) "MINCUT(1,4)" 2 (Maxflow.max_flow g ~src:1 ~dst:4);
+  Alcotest.(check int) "gamma" 2 (Maxflow.broadcast_mincut g ~src:1);
+  Alcotest.(check bool) "no edge 2-4" true
+    ((not (Digraph.mem_edge g 2 4)) && not (Digraph.mem_edge g 4 2))
+
+let test_maxflow_disconnected () =
+  let g = Digraph.of_edges ~vertices:[ 3 ] [ (1, 2, 5) ] in
+  Alcotest.(check int) "unreachable" 0 (Maxflow.max_flow g ~src:1 ~dst:3);
+  Alcotest.(check int) "broadcast 0" 0 (Maxflow.broadcast_mincut g ~src:1)
+
+let cut_capacity g side =
+  Digraph.fold_edges
+    (fun s d c acc -> if Vset.mem s side && not (Vset.mem d side) then acc + c else acc)
+    g 0
+
+let test_maxflow_equals_cut =
+  qtest "max flow = capacity of returned min cut" graph_gen (fun g ->
+      let verts = Digraph.vertices g in
+      let src = List.hd verts and dst = List.nth verts (List.length verts - 1) in
+      let v, side = Maxflow.min_cut g ~src ~dst in
+      Vset.mem src side && (not (Vset.mem dst side)) && cut_capacity g side = v)
+
+let test_flow_conservation =
+  qtest "flow conservation and capacity" graph_gen (fun g ->
+      let verts = Digraph.vertices g in
+      let src = List.hd verts and dst = List.nth verts (List.length verts - 1) in
+      let v, flows = Maxflow.max_flow_edges g ~src ~dst in
+      let within_caps =
+        List.for_all (fun ((s, d), fl) -> fl >= 0 && fl <= Digraph.cap g s d) flows
+      in
+      let net w =
+        List.fold_left
+          (fun acc ((s, d), fl) ->
+            if s = w then acc + fl else if d = w then acc - fl else acc)
+          0 flows
+      in
+      within_caps && net src = v && net dst = -v
+      && List.for_all (fun w -> w = src || w = dst || net w = 0) verts)
+
+let test_flow_decompose =
+  qtest "flow decomposes into value-many paths" graph_gen (fun g ->
+      let verts = Digraph.vertices g in
+      let src = List.hd verts and dst = List.nth verts (List.length verts - 1) in
+      let v, flows = Maxflow.max_flow_edges g ~src ~dst in
+      let paths = Maxflow.flow_decompose g flows ~src ~dst in
+      List.length paths = v
+      && List.for_all
+           (fun p ->
+             List.hd p = src
+             && List.nth p (List.length p - 1) = dst
+             &&
+             let rec edges_ok = function
+               | a :: (b :: _ as rest) -> Digraph.mem_edge g a b && edges_ok rest
+               | _ -> true
+             in
+             edges_ok p)
+           paths)
+
+let test_min_cut_edges () =
+  let g = Gen.figure1a in
+  let v, cut = Maxflow.min_cut_edges g ~src:1 ~dst:4 in
+  Alcotest.(check int) "cut value" 2 v;
+  let total = List.fold_left (fun acc (s, d) -> acc + Digraph.cap g s d) 0 cut in
+  Alcotest.(check int) "cut edges sum to value" 2 total
+
+(* ---------- Stoer-Wagner ---------- *)
+
+let test_stoer_wagner_known () =
+  (* Paper example: U for the two Omega subgraphs of Figure 1(b). *)
+  let gb = Gen.figure1b in
+  let u124 = Ugraph.of_digraph (Digraph.induced gb (Vset.of_list [ 1; 2; 4 ])) in
+  let u134 = Ugraph.of_digraph (Digraph.induced gb (Vset.of_list [ 1; 3; 4 ])) in
+  Alcotest.(check int) "U {1,2,4}" 2 (Stoer_wagner.min_cut_value u124);
+  Alcotest.(check int) "U {1,3,4}" 3 (Stoer_wagner.min_cut_value u134)
+
+let test_stoer_wagner_vs_pairwise =
+  qtest ~count:60 "global min cut = min pairwise min cut" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      let verts = Ugraph.vertices u in
+      let v0 = List.hd verts in
+      let pairwise =
+        List.fold_left
+          (fun acc v ->
+            if v = v0 then acc else min acc (Maxflow.pair_mincut_undirected u v0 v))
+          max_int (List.tl verts)
+      in
+      (* The global min cut separates v0 from someone, so the min over pairs
+         with v0 fixed equals the global value. *)
+      Stoer_wagner.min_cut_value u = pairwise)
+
+let test_stoer_wagner_partition =
+  qtest ~count:60 "returned side realises the value" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      let v, side = Stoer_wagner.min_cut u in
+      let crossing =
+        Ugraph.fold_edges
+          (fun a b c acc -> if Vset.mem a side <> Vset.mem b side then acc + c else acc)
+          u 0
+      in
+      crossing = v
+      && (not (Vset.is_empty side))
+      && Vset.cardinal side < Ugraph.num_vertices u)
+
+(* ---------- Connectivity ---------- *)
+
+let test_connectivity_known () =
+  Alcotest.(check int) "complete K5" 4
+    (Connectivity.vertex_connectivity (Gen.complete ~n:5 ~cap:1));
+  Alcotest.(check int) "ring" 2 (Connectivity.vertex_connectivity (Gen.ring ~n:6 ~cap:1));
+  Alcotest.(check int) "ring with chords" 4
+    (Connectivity.vertex_connectivity (Gen.ring_with_chords ~n:7 ~cap:1 ~chord_cap:1));
+  Alcotest.(check int) "figure1a" 1 (Connectivity.vertex_connectivity Gen.figure1a);
+  Alcotest.(check bool) "dumbbell is 3-connected" true
+    (Connectivity.vertex_connectivity (Gen.dumbbell ~clique:4 ~clique_cap:4 ~bridge_cap:1)
+    >= 3)
+
+let test_disjoint_paths_disjoint =
+  qtest ~count:60 "paths are internally node-disjoint" graph_gen (fun g ->
+      let verts = Digraph.vertices g in
+      let src = List.hd verts and dst = List.nth verts (List.length verts - 1) in
+      let paths = Connectivity.disjoint_paths g ~src ~dst in
+      let internals =
+        List.map (fun p -> List.filter (fun v -> v <> src && v <> dst) p) paths
+      in
+      let all = List.concat internals in
+      List.length paths = Connectivity.max_disjoint_paths g ~src ~dst
+      && List.length all = List.length (List.sort_uniq compare all)
+      && List.for_all
+           (fun p ->
+             let rec ok = function
+               | a :: (b :: _ as rest) -> Digraph.mem_edge g a b && ok rest
+               | _ -> true
+             in
+             List.hd p = src && List.nth p (List.length p - 1) = dst && ok p)
+           paths)
+
+let test_meets_requirement () =
+  Alcotest.(check bool) "K4 f=1" true
+    (Connectivity.meets_requirement (Gen.complete ~n:4 ~cap:1) ~f:1);
+  Alcotest.(check bool) "K4 f=2 (too few nodes)" false
+    (Connectivity.meets_requirement (Gen.complete ~n:4 ~cap:1) ~f:2);
+  Alcotest.(check bool) "ring f=1 (connectivity 2 < 3)" false
+    (Connectivity.meets_requirement (Gen.ring ~n:6 ~cap:1) ~f:1)
+
+(* ---------- Arborescence ---------- *)
+
+let test_figure2_packing () =
+  let g = Gen.figure2 in
+  Alcotest.(check int) "fig2 gamma" 2 (Maxflow.broadcast_mincut g ~src:1);
+  let trees = Arborescence.pack g ~root:1 ~k:2 in
+  Alcotest.(check int) "two trees" 2 (List.length trees);
+  (match Arborescence.verify g ~root:1 trees with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Both trees must use edge (1,2), as the paper's Figure 2(c) shows. *)
+  List.iter
+    (fun t -> Alcotest.(check bool) "uses (1,2)" true (List.mem (1, 2) t))
+    trees
+
+let test_pack_random =
+  qtest ~count:40 "packing gamma trees always verifies" graph_gen (fun g ->
+      let gamma = Maxflow.broadcast_mincut g ~src:1 in
+      gamma = 0
+      ||
+      let trees = Arborescence.pack g ~root:1 ~k:gamma in
+      List.length trees = gamma && Arborescence.verify g ~root:1 trees = Ok ())
+
+let test_pack_infeasible () =
+  let g = Gen.figure2 in
+  Alcotest.check_raises "k too large"
+    (Invalid_argument "Arborescence.pack: k exceeds the root broadcast min-cut")
+    (fun () -> ignore (Arborescence.pack g ~root:1 ~k:3))
+
+let test_tree_navigation () =
+  let t = [ (1, 2); (1, 4); (2, 3) ] in
+  Alcotest.(check (list int)) "children of 1" [ 2; 4 ] (Arborescence.children t 1);
+  Alcotest.(check (option int)) "parent of 3" (Some 2) (Arborescence.parent t 3);
+  Alcotest.(check (option int)) "root has no parent" None (Arborescence.parent t 1);
+  Alcotest.(check int) "depth" 2 (Arborescence.depth t ~root:1);
+  Alcotest.(check (list (pair int int)))
+    "by depth"
+    [ (1, 0); (2, 1); (4, 1); (3, 2) ]
+    (Arborescence.vertices_by_depth t ~root:1)
+
+let test_verify_rejects_bad () =
+  let g = Gen.figure2 in
+  (* A "tree" missing node 3. *)
+  (match Arborescence.verify g ~root:1 [ [ (1, 2); (2, 4) ] ] with
+  | Ok () -> Alcotest.fail "accepted non-spanning tree"
+  | Error _ -> ());
+  (* Capacity overuse: (1,4) has capacity 1 but is used twice. *)
+  let t = [ (1, 2); (1, 4); (4, 3) ] in
+  match Arborescence.verify g ~root:1 [ t; t ] with
+  | Ok () -> Alcotest.fail "accepted capacity violation"
+  | Error _ -> ()
+
+(* ---------- Spanning ---------- *)
+
+let test_bfs_tree () =
+  let u = Ugraph.of_digraph (Gen.complete ~n:5 ~cap:1) in
+  let t = Spanning.bfs_tree u ~root:1 in
+  Alcotest.(check bool) "spanning" true (Spanning.is_spanning_tree u t);
+  Alcotest.(check int) "n-1 edges" 4 (List.length t)
+
+let test_tree_packing_bound () =
+  let u = Ugraph.of_digraph (Gen.complete ~n:4 ~cap:2) in
+  (* K4 with undirected cap 4 per edge: global min cut 12, bound 6. *)
+  let bound = Spanning.count_disjoint_trees_lower_bound u in
+  Alcotest.(check int) "bound" 6 bound;
+  match Spanning.greedy_disjoint_trees u ~k:bound with
+  | None -> Alcotest.fail "greedy failed at the guaranteed bound"
+  | Some trees ->
+      Alcotest.(check int) "count" bound (List.length trees);
+      List.iter
+        (fun t -> Alcotest.(check bool) "each spans" true (Spanning.is_spanning_tree u t))
+        trees
+
+let test_greedy_trees_respect_capacity =
+  qtest ~count:30 "greedy trees use each edge within capacity" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      let k = Spanning.count_disjoint_trees_lower_bound u in
+      k = 0
+      ||
+      match Spanning.greedy_disjoint_trees u ~k with
+      | None -> true (* greedy is best-effort; the bound is existential *)
+      | Some trees ->
+          let usage = Hashtbl.create 16 in
+          List.iter
+            (List.iter (fun (a, b) ->
+                 let key = (min a b, max a b) in
+                 Hashtbl.replace usage key
+                   (1 + try Hashtbl.find usage key with Not_found -> 0)))
+            trees;
+          Hashtbl.fold (fun (a, b) used acc -> acc && used <= Ugraph.cap u a b) usage true)
+
+(* ---------- Gomory-Hu ---------- *)
+
+let test_gomory_hu_matches_pairwise =
+  qtest ~count:50 "Gomory-Hu min cuts = pairwise max flow" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      let gh = Gomory_hu.build u in
+      let verts = Ugraph.vertices u in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              a >= b || Gomory_hu.min_cut gh a b = Maxflow.pair_mincut_undirected u a b)
+            verts)
+        verts)
+
+let test_gomory_hu_global =
+  qtest ~count:50 "Gomory-Hu global = Stoer-Wagner" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      Gomory_hu.global_min_cut (Gomory_hu.build u) = Stoer_wagner.min_cut_value u)
+
+let test_gomory_hu_shape () =
+  let u = Ugraph.of_digraph (Gen.complete ~n:5 ~cap:1) in
+  let gh = Gomory_hu.build u in
+  Alcotest.(check int) "n-1 tree edges" 4 (List.length (Gomory_hu.tree_edges gh));
+  Alcotest.check_raises "same vertex"
+    (Invalid_argument "Gomory_hu.min_cut: identical vertices") (fun () ->
+      ignore (Gomory_hu.min_cut gh 1 1))
+
+(* ---------- Edmonds-Karp cross-check ---------- *)
+
+let test_edmonds_karp_matches_dinic =
+  qtest ~count:80 "Edmonds-Karp = Dinic on all pairs" graph_gen (fun g ->
+      let verts = Digraph.vertices g in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun d ->
+              s = d
+              || Edmonds_karp.max_flow g ~src:s ~dst:d = Maxflow.max_flow g ~src:s ~dst:d)
+            verts)
+        verts)
+
+(* ---------- Karger ---------- *)
+
+let test_karger_upper_bound =
+  qtest ~count:30 "every Karger trial is an upper bound" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      let sw = Stoer_wagner.min_cut_value u in
+      let st = Random.State.make [| 77 |] in
+      List.for_all (fun _ -> fst (Karger.one_trial u st) >= sw) (List.init 10 Fun.id))
+
+let test_karger_finds_min_whp =
+  qtest ~count:20 "enough Karger trials find the min cut" graph_gen (fun g ->
+      let u = Ugraph.of_digraph g in
+      let v, side = Karger.min_cut u ~trials:(Karger.recommended_trials u) ~seed:5 in
+      let crossing =
+        Ugraph.fold_edges
+          (fun a b c acc -> if Vset.mem a side <> Vset.mem b side then acc + c else acc)
+          u 0
+      in
+      v = Stoer_wagner.min_cut_value u && crossing = v)
+
+(* ---------- Graphfile ---------- *)
+
+let test_graphfile_roundtrip =
+  qtest ~count:50 "parse(print g) = g" graph_gen (fun g ->
+      match Graphfile.parse (Graphfile.print g) with
+      | Ok g' -> Digraph.equal g g'
+      | Error _ -> false)
+
+let test_graphfile_parse () =
+  let doc = "# demo\nnode 9\n\nedge 1 2 3 # inline comment\nbiedge 2 3 1\n" in
+  (match Graphfile.parse doc with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      Alcotest.(check int) "vertices" 4 (Digraph.num_vertices g);
+      Alcotest.(check int) "cap 1->2" 3 (Digraph.cap g 1 2);
+      Alcotest.(check int) "biedge both ways" 1 (Digraph.cap g 3 2));
+  (match Graphfile.parse "edge 1 2\n" with
+  | Error e -> Alcotest.(check bool) "line number" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted malformed edge");
+  match Graphfile.parse "edge 1 1 4\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted self-loop"
+
+let test_graphfile_never_crashes =
+  qtest ~count:300 "parser totals on arbitrary junk"
+    QCheck2.Gen.(string_size ~gen:printable (int_bound 80))
+    (fun junk ->
+      match Graphfile.parse junk with Ok _ | Error _ -> true)
+
+let test_graphfile_isolated_nodes () =
+  let g = Digraph.add_vertex (Gen.figure2) 42 in
+  match Graphfile.parse (Graphfile.print g) with
+  | Ok g' -> Alcotest.(check bool) "isolated survives" true (Digraph.mem_vertex g' 42)
+  | Error e -> Alcotest.fail e
+
+(* ---------- Gen / Dot ---------- *)
+
+let test_generators_shape () =
+  Alcotest.(check int) "complete edges" 20 (Digraph.num_edges (Gen.complete ~n:5 ~cap:1));
+  Alcotest.(check int) "ring edges" 12 (Digraph.num_edges (Gen.ring ~n:6 ~cap:1));
+  let d = Gen.dumbbell ~clique:4 ~clique_cap:8 ~bridge_cap:1 in
+  Alcotest.(check int) "dumbbell nodes" 8 (Digraph.num_vertices d);
+  let s = Gen.star_mesh ~n:5 ~spoke_cap:4 ~mesh_cap:1 in
+  Alcotest.(check int) "star spoke cap" 4 (Digraph.cap s 1 2);
+  Alcotest.(check int) "star mesh cap" 1 (Digraph.cap s 2 3)
+
+let test_hypercube_torus () =
+  let h3 = Gen.hypercube ~dims:3 ~cap:1 in
+  Alcotest.(check int) "Q3 nodes" 8 (Digraph.num_vertices h3);
+  Alcotest.(check int) "Q3 edges" 24 (Digraph.num_edges h3);
+  Alcotest.(check int) "Q3 connectivity = dims" 3 (Connectivity.vertex_connectivity h3);
+  List.iter
+    (fun v -> Alcotest.(check int) "3-regular" 3 (List.length (Digraph.neighbors h3 v)))
+    (Digraph.vertices h3);
+  let t = Gen.torus ~rows:3 ~cols:4 ~cap:2 in
+  Alcotest.(check int) "torus nodes" 12 (Digraph.num_vertices t);
+  List.iter
+    (fun v -> Alcotest.(check int) "4-regular" 4 (List.length (Digraph.neighbors t v)))
+    (Digraph.vertices t);
+  Alcotest.(check int) "torus connectivity" 4 (Connectivity.vertex_connectivity t);
+  (* Both satisfy the BB requirement at f = 1. *)
+  Alcotest.(check bool) "Q3 feasible f=1" true (Connectivity.meets_requirement h3 ~f:1);
+  Alcotest.(check bool) "torus feasible f=1" true (Connectivity.meets_requirement t ~f:1)
+
+let test_random_feasible =
+  qtest ~count:20 "random_bb_feasible meets requirements"
+    (QCheck2.Gen.int_range 0 1000)
+    (fun seed ->
+      let g = Gen.random_bb_feasible ~n:5 ~f:1 ~p:0.8 ~min_cap:1 ~max_cap:3 ~seed in
+      Connectivity.meets_requirement g ~f:1 && Digraph.is_strongly_connected g)
+
+let test_metrics () =
+  let m = Metrics.compute (Gen.complete ~n:5 ~cap:3) in
+  Alcotest.(check int) "nodes" 5 m.Metrics.nodes;
+  Alcotest.(check int) "edges" 20 m.Metrics.edges;
+  Alcotest.(check int) "total capacity" 60 m.Metrics.total_capacity;
+  Alcotest.(check int) "diameter" 1 m.Metrics.diameter;
+  Alcotest.(check int) "connectivity" 4 m.Metrics.vertex_connectivity;
+  Alcotest.(check int) "max f: n>=3f+1 and kappa>=2f+1" 1 m.Metrics.max_f;
+  let ring = Metrics.compute (Gen.ring ~n:6 ~cap:1) in
+  Alcotest.(check int) "ring diameter" 3 ring.Metrics.diameter;
+  Alcotest.(check int) "ring tolerates nothing" 0 ring.Metrics.max_f;
+  let dangling = Digraph.of_edges [ (1, 2, 1) ] in
+  Alcotest.(check int) "one-way diameter -1" (-1) (Metrics.compute dangling).Metrics.diameter;
+  Alcotest.(check int) "eccentricity" 2
+    (Metrics.eccentricity (Gen.ring ~n:5 ~cap:1) 1)
+
+let test_dot_output () =
+  let s = Dot.of_digraph ~name:"test" Gen.figure2 in
+  Alcotest.(check bool) "digraph header" true (contains_sub s "digraph test");
+  Alcotest.(check bool) "directed edge" true (contains_sub s "1 -> 2");
+  let u = Dot.of_ugraph (Ugraph.of_digraph Gen.figure2) in
+  Alcotest.(check bool) "undirected edges" true (contains_sub u "--");
+  let h = Dot.of_digraph ~highlight:[ (1, 2) ] Gen.figure2 in
+  Alcotest.(check bool) "highlight red" true (contains_sub h "color=red")
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "crud" `Quick test_digraph_crud;
+          Alcotest.test_case "validation" `Quick test_digraph_validation;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+        ] );
+      ( "ugraph",
+        [
+          Alcotest.test_case "of_digraph" `Quick test_ugraph_of_digraph;
+          test_ugraph_symmetry;
+        ] );
+      ( "maxflow",
+        [
+          Alcotest.test_case "figure 1 mincuts" `Quick test_figure1_mincuts;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          test_maxflow_equals_cut;
+          test_flow_conservation;
+          test_flow_decompose;
+          Alcotest.test_case "min cut edges" `Quick test_min_cut_edges;
+        ] );
+      ( "stoer-wagner",
+        [
+          Alcotest.test_case "paper example" `Quick test_stoer_wagner_known;
+          test_stoer_wagner_vs_pairwise;
+          test_stoer_wagner_partition;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "known values" `Quick test_connectivity_known;
+          test_disjoint_paths_disjoint;
+          Alcotest.test_case "meets requirement" `Quick test_meets_requirement;
+        ] );
+      ( "arborescence",
+        [
+          Alcotest.test_case "figure 2 packing" `Quick test_figure2_packing;
+          test_pack_random;
+          Alcotest.test_case "infeasible k" `Quick test_pack_infeasible;
+          Alcotest.test_case "navigation" `Quick test_tree_navigation;
+          Alcotest.test_case "verify rejects bad" `Quick test_verify_rejects_bad;
+        ] );
+      ( "spanning",
+        [
+          Alcotest.test_case "bfs tree" `Quick test_bfs_tree;
+          Alcotest.test_case "packing bound on K4" `Quick test_tree_packing_bound;
+          test_greedy_trees_respect_capacity;
+        ] );
+      ( "gomory-hu",
+        [
+          test_gomory_hu_matches_pairwise;
+          test_gomory_hu_global;
+          Alcotest.test_case "tree shape" `Quick test_gomory_hu_shape;
+        ] );
+      ("edmonds-karp", [ test_edmonds_karp_matches_dinic ]);
+      ( "karger",
+        [ test_karger_upper_bound; test_karger_finds_min_whp ] );
+      ( "graphfile",
+        [
+          test_graphfile_roundtrip;
+          test_graphfile_never_crashes;
+          Alcotest.test_case "parse" `Quick test_graphfile_parse;
+          Alcotest.test_case "isolated nodes" `Quick test_graphfile_isolated_nodes;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "generator shapes" `Quick test_generators_shape;
+          Alcotest.test_case "hypercube and torus" `Quick test_hypercube_torus;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          test_random_feasible;
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+        ] );
+    ]

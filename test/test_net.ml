@@ -1,0 +1,208 @@
+(* Tests for the synchronous simulator (Sim) and wire format (Wire/Packet). *)
+
+open Nab_graph
+open Nab_net
+
+let drop (_ : int -> (int * Packet.t) list) = ()
+
+let flag b = Packet.direct ~proto:"t" ~origin:0 ~dst:0 (Wire.Flag b)
+
+(* ---------- Wire ---------- *)
+
+let test_wire_bits () =
+  Alcotest.(check int) "flag" 1 (Wire.bits (Wire.Flag true));
+  Alcotest.(check int) "value" 128 (Wire.bits (Wire.Value { bits = 128; data = [||] }));
+  Alcotest.(check int) "coded" 24
+    (Wire.bits (Wire.Coded { sym_bits = 8; data = [| 1; 2; 3 |] }));
+  Alcotest.(check int) "labeled adds 8/elem" 17
+    (Wire.bits (Wire.Labeled { label = [ 1; 2 ]; body = Wire.Flag false }));
+  Alcotest.(check int) "batch sums" 2
+    (Wire.bits (Wire.Batch [ Wire.Flag true; Wire.Flag false ]));
+  Alcotest.(check int) "empty batch still 1 bit" 1 (Wire.bits (Wire.Batch []));
+  Alcotest.(check int) "nothing" 1 (Wire.bits Wire.Nothing);
+  let claim =
+    {
+      Wire.c_phase = "p";
+      c_round = 0;
+      c_src = 1;
+      c_dst = 2;
+      c_dir = Wire.Sent;
+      c_body = Wire.Flag true;
+    }
+  in
+  Alcotest.(check int) "claims header" 33 (Wire.bits (Wire.Claims [ claim ]))
+
+let test_wire_equal () =
+  let a = Wire.Coded { sym_bits = 4; data = [| 1; 2 |] } in
+  let b = Wire.Coded { sym_bits = 4; data = [| 1; 2 |] } in
+  let c = Wire.Coded { sym_bits = 4; data = [| 1; 3 |] } in
+  Alcotest.(check bool) "equal" true (Wire.equal a b);
+  Alcotest.(check bool) "not equal" false (Wire.equal a c)
+
+(* ---------- Sim ---------- *)
+
+let line_graph = Digraph.of_edges [ (1, 2, 4); (2, 1, 4); (2, 3, 2); (3, 2, 2) ]
+
+let test_sim_delivery () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  let inbox =
+    Sim.round sim ~phase:"p" (fun v ->
+        if v = 1 then [ (2, flag true) ] else if v = 2 then [ (3, flag false) ] else [])
+  in
+  Alcotest.(check int) "node 2 got one" 1 (List.length (inbox 2));
+  Alcotest.(check int) "node 3 got one" 1 (List.length (inbox 3));
+  Alcotest.(check int) "node 1 got none" 0 (List.length (inbox 1));
+  (match inbox 2 with
+  | [ (sender, pkt) ] ->
+      Alcotest.(check int) "sender" 1 sender;
+      Alcotest.(check bool) "payload" true (pkt.Packet.payload = Wire.Flag true)
+  | _ -> Alcotest.fail "bad inbox");
+  Alcotest.(check int) "rounds" 1 (Sim.rounds_run sim)
+
+let test_sim_drops_non_edges () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  let inbox = Sim.round sim ~phase:"p" (fun v -> if v = 1 then [ (3, flag true) ] else []) in
+  Alcotest.(check int) "no 1->3 link" 0 (List.length (inbox 3));
+  Alcotest.(check int) "dropped" 1 (Sim.dropped sim)
+
+let big_packet bits = Packet.direct ~proto:"t" ~origin:0 ~dst:0 (Wire.Value { bits; data = [||] })
+
+let test_sim_duration () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  (* 8 bits on a 4-capacity link takes 2 time units; 8 bits on a 2-capacity
+     link takes 4; the round lasts max = 4. *)
+  drop
+    (Sim.round sim ~phase:"p" (fun v ->
+         if v = 1 then [ (2, big_packet 8) ]
+         else if v = 2 then [ (3, big_packet 8) ]
+         else []));
+  Alcotest.(check (float 1e-9)) "duration = slowest link" 4.0 (Sim.elapsed sim);
+  (* A second round accumulates; bottleneck is per-phase max. *)
+  drop (Sim.round sim ~phase:"p" (fun v -> if v = 1 then [ (2, big_packet 4) ] else []));
+  Alcotest.(check (float 1e-9)) "wall accumulates" 5.0 (Sim.elapsed sim);
+  Alcotest.(check (float 1e-9)) "pipelined takes max" 4.0 (Sim.pipelined_elapsed sim)
+
+let test_sim_parallel_links_share_round () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  (* Both directions of a link are separate capacities. *)
+  drop
+    (Sim.round sim ~phase:"p" (fun v ->
+         if v = 1 then [ (2, big_packet 4) ] else if v = 2 then [ (1, big_packet 4) ] else []));
+  Alcotest.(check (float 1e-9)) "full duplex" 1.0 (Sim.elapsed sim)
+
+let test_sim_aggregates_per_link () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  drop
+    (Sim.round sim ~phase:"p" (fun v ->
+         if v = 1 then [ (2, big_packet 4); (2, big_packet 4) ] else []));
+  (* Two messages share the link: 8 bits / cap 4 = 2. *)
+  Alcotest.(check (float 1e-9)) "aggregated" 2.0 (Sim.elapsed sim);
+  Alcotest.(check (list (pair (pair int int) int)))
+    "link bits"
+    [ ((1, 2), 8) ]
+    (Sim.link_bits sim)
+
+let test_sim_utilization () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  (* 8 bits on link (1,2) of cap 4: duration 2, so that link runs at 100%
+     and the others at 0. *)
+  drop (Sim.round sim ~phase:"p" (fun v -> if v = 1 then [ (2, big_packet 8) ] else []));
+  (match List.assoc_opt (1, 2) (Sim.utilization sim) with
+  | Some u -> Alcotest.(check (float 1e-9)) "saturated" 1.0 u
+  | None -> Alcotest.fail "missing link");
+  (* Second round halves utilisation of that link. *)
+  drop (Sim.round sim ~phase:"p" (fun v -> if v = 2 then [ (3, big_packet 4) ] else []));
+  match List.assoc_opt (1, 2) (Sim.utilization sim) with
+  | Some u -> Alcotest.(check (float 1e-9)) "diluted" 0.5 u
+  | None -> Alcotest.fail "missing link"
+
+let test_sim_phases () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  drop (Sim.round sim ~phase:"a" (fun v -> if v = 1 then [ (2, big_packet 4) ] else []));
+  drop (Sim.round sim ~phase:"b" (fun v -> if v = 2 then [ (3, big_packet 2) ] else []));
+  Sim.add_cost sim ~phase:"b" 10.0;
+  let stats = Sim.phase_stats sim in
+  Alcotest.(check (list string)) "phase order" [ "a"; "b" ]
+    (List.map (fun s -> s.Sim.phase) stats);
+  let b = List.nth stats 1 in
+  Alcotest.(check int) "rounds in b" 1 b.Sim.rounds;
+  Alcotest.(check (float 1e-9)) "extra cost" 10.0 b.Sim.extra;
+  Alcotest.(check (float 1e-9)) "elapsed includes extra" 12.0 (Sim.elapsed sim)
+
+let test_sim_events () =
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  drop (Sim.round sim ~phase:"x" (fun v -> if v = 1 then [ (2, flag true) ] else []));
+  drop (Sim.round sim ~phase:"y" (fun v -> if v = 2 then [ (3, flag false) ] else []));
+  Alcotest.(check int) "two events" 2 (List.length (Sim.events sim));
+  (match Sim.events_of_phase sim "x" with
+  | [ e ] ->
+      Alcotest.(check int) "src" 1 e.Sim.src;
+      Alcotest.(check int) "dst" 2 e.Sim.dst;
+      Alcotest.(check int) "round" 1 e.Sim.round_no
+  | _ -> Alcotest.fail "expected exactly one event in phase x");
+  Alcotest.(check int) "phase filter" 1 (List.length (Sim.events_of_phase sim "y"))
+
+let test_sim_duration_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"round duration = max over links of bits/cap"
+       QCheck2.Gen.(
+         list_size (int_range 1 12)
+           (triple (int_range 1 3) (int_range 1 3) (int_range 1 64)))
+       (fun sends ->
+         (* Nodes 1..3 fully meshed with distinct capacities. *)
+         let g =
+           Nab_graph.Digraph.of_edges
+             [ (1, 2, 2); (2, 1, 3); (1, 3, 5); (3, 1, 1); (2, 3, 4); (3, 2, 2) ]
+         in
+         let sim = Sim.create g ~bits:Packet.bits in
+         let outbox v =
+           List.filter_map
+             (fun (src, dst, bits) ->
+               if src = v && src <> dst then Some (dst, big_packet bits) else None)
+             sends
+         in
+         let _inbox = Sim.round sim ~phase:"p" outbox in
+         let expected =
+           let per_link = Hashtbl.create 8 in
+           List.iter
+             (fun (s, d, b) ->
+               if s <> d && Nab_graph.Digraph.mem_edge g s d then
+                 Hashtbl.replace per_link (s, d)
+                   (b + try Hashtbl.find per_link (s, d) with Not_found -> 0))
+             sends;
+           Hashtbl.fold
+             (fun (s, d) b acc ->
+               Float.max acc
+                 (float_of_int b /. float_of_int (Nab_graph.Digraph.cap g s d)))
+             per_link 0.0
+         in
+         Float.abs (Sim.elapsed sim -. expected) < 1e-9))
+
+let test_sim_rejects_zero_bits () =
+  let sim = Sim.create line_graph ~bits:(fun _ -> 0) in
+  Alcotest.check_raises "zero-size message"
+    (Invalid_argument "Sim.round: message with non-positive bit size") (fun () ->
+      drop (Sim.round sim ~phase:"p" (fun v -> if v = 1 then [ (2, flag true) ] else [])))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "bits" `Quick test_wire_bits;
+          Alcotest.test_case "equal" `Quick test_wire_equal;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "delivery" `Quick test_sim_delivery;
+          Alcotest.test_case "drops non-edges" `Quick test_sim_drops_non_edges;
+          Alcotest.test_case "duration model" `Quick test_sim_duration;
+          Alcotest.test_case "full duplex" `Quick test_sim_parallel_links_share_round;
+          Alcotest.test_case "per-link aggregation" `Quick test_sim_aggregates_per_link;
+          Alcotest.test_case "utilization" `Quick test_sim_utilization;
+          Alcotest.test_case "phases" `Quick test_sim_phases;
+          Alcotest.test_case "events" `Quick test_sim_events;
+          test_sim_duration_property;
+          Alcotest.test_case "rejects zero bits" `Quick test_sim_rejects_zero_bits;
+        ] );
+    ]
