@@ -9,6 +9,14 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --only e5    # one experiment
      dune exec bench/main.exe -- --no-micro   # skip bechamel timing
+     dune exec bench/main.exe -- --jobs 4     # domain count for the sweeps
+                                              # (also: NAB_JOBS env var)
+
+   The analytic sweeps (E5, E10, E11) and the gamma*/U_k machinery they call
+   fan out over Nab_util.Pool. Results are keyed by input index and every
+   simulator/RNG seed is fixed, so the printed values are identical whatever
+   the job count — only the wall-clock (and the timing columns that report
+   it) changes.
 *)
 
 open Nab_graph
@@ -193,16 +201,18 @@ let e5 () =
   Printf.printf "%-22s %2s %2s %7s %5s %10s %9s %7s %s\n" "network" "n" "f" "gamma*"
     "rho*" "T_NAB(lb)" "C_BB(ub)" "ratio" "Thm-3 floor";
   hr 92;
-  List.iter
-    (fun (name, g, f) ->
-      let s = Params.stars g ~source:1 ~f in
+  (* One task per family; rows come back (and print) in family order. *)
+  Nab_util.Pool.map
+    (fun (name, g, f) -> (name, g, f, Params.stars g ~source:1 ~f))
+    e5_families
+  |> List.iter
+    (fun (name, g, f, s) ->
       let floor = if s.Params.half_capacity_condition then 0.5 else 1.0 /. 3.0 in
       Printf.printf "%-22s %2d %2d %7d %5d %10.2f %9.2f %6.2f%% %5.0f%% %s\n" name
         (Digraph.num_vertices g) f s.Params.gamma_star s.Params.rho_star
         s.Params.throughput_lb s.Params.capacity_ub
         (100.0 *. s.Params.ratio) (100.0 *. floor)
-        (if s.Params.ratio >= floor -. 1e-9 then "ok" else "** BELOW FLOOR **"))
-    e5_families;
+        (if s.Params.ratio >= floor -. 1e-9 then "ok" else "** BELOW FLOOR **"));
   (* rho ablation: the paper picks rho_k = U_k/2 to minimise equality-check
      time; any smaller rho lowers the combined rate. *)
   Printf.printf "\nrho ablation on K4 cap 2 (U_1 = 8, so rho may range 1..4):\n\n";
@@ -437,18 +447,19 @@ let e10 () =
         t_inst (sampled = exact))
     [ 4; 5; 6; 7; 8 ];
   (* The sampled bound scales to networks where exact Gamma enumeration is
-     out of reach. *)
+     out of reach. One task per n; each task's gamma*_upper again fans out
+     internally, and the nested maps share the pool. *)
   Printf.printf "\nsampled gamma' upper bound on larger networks (16 samples/fault set):\n\n";
   Printf.printf "%-4s %-10s %-10s\n" "n" "gamma_1" "gamma'<=";
   hr 26;
-  List.iter
+  Nab_util.Pool.map
     (fun n ->
       let g = Gen.complete ~n ~cap:1 in
-      let sampled =
-        Params.gamma_star_upper g ~source:1 ~f:1 ~samples:16 ~seed:3
-      in
-      Printf.printf "%-4d %-10d %-10d\n" n (Params.gamma_k g ~source:1) sampled)
+      let sampled = Params.gamma_star_upper g ~source:1 ~f:1 ~samples:16 ~seed:3 in
+      (n, Params.gamma_k g ~source:1, sampled))
     [ 10; 12; 14; 16 ]
+  |> List.iter (fun (n, gamma1, sampled) ->
+         Printf.printf "%-4d %-10d %-10d\n" n gamma1 sampled)
 
 (* ------------------------------------------------------------------ *)
 (* E11 - price of fault tolerance: bounds and measured rate vs f       *)
@@ -462,7 +473,10 @@ let e11 () =
   Printf.printf "%-4s %-8s %-7s %-11s %-10s %-10s %-12s\n" "f" "gamma*~" "rho*"
     "T_NAB(lb)" "C_BB(ub)" "measured" "flag rounds";
   hr 64;
-  List.iter
+  (* One task per fault budget; every seed below is fixed and per-task state
+     (input tables, simulators) is task-local, so the rows are identical at
+     any job count and print in f order. *)
+  Nab_util.Pool.map
     (fun f ->
       (* Exact Gamma enumeration is exponential; use the sampled bound for
          the table (exact for f <= 1 on this graph) and exact rho*. *)
@@ -480,9 +494,11 @@ let e11 () =
         Nab.run ~g ~config ~adversary:Adversary.dormant ~inputs:(inputs_for ~l ~seed:4)
           ~q:2
       in
-      Printf.printf "%-4d %-8d %-7d %-11.2f %-10.2f %-10.3f %-12d\n" f gamma rho t_lb
-        c_ub report.Nab.throughput_pipelined (f + 1))
-    [ 0; 1; 2; 3 ];
+      (f, gamma, rho, t_lb, c_ub, report.Nab.throughput_pipelined))
+    [ 0; 1; 2; 3 ]
+  |> List.iter (fun (f, gamma, rho, t_lb, c_ub, measured) ->
+         Printf.printf "%-4d %-8d %-7d %-11.2f %-10.2f %-10.3f %-12d\n" f gamma rho
+           t_lb c_ub measured (f + 1));
   Printf.printf
     "\n(gamma'/rho' shrink by the worst-case dispute damage - one unit per\n\
      tolerated fault here. The measured drop at f >= 2 is the O(n^(f+1))\n\
@@ -589,6 +605,17 @@ let experiments =
 
 let () =
   let args = Array.to_list Sys.argv in
+  (let rec find = function
+     | "--jobs" :: n :: _ -> (
+         match int_of_string_opt n with
+         | Some j when j >= 1 -> Nab_util.Pool.set_jobs j
+         | _ ->
+             Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+             exit 1)
+     | _ :: rest -> find rest
+     | [] -> ()
+   in
+   find args);
   let only =
     let rec find = function
       | "--only" :: id :: _ -> Some (String.lowercase_ascii id)

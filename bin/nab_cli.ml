@@ -44,6 +44,23 @@ let cap_arg = Arg.(value & opt int 2 & info [ "cap" ] ~docv:"CAP" ~doc:"Link cap
 let f_arg = Arg.(value & opt int 1 & info [ "faults"; "f" ] ~docv:"F" ~doc:"Fault budget.")
 let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel analytical sweeps (gamma*, U_k). \
+     Overrides the NAB_JOBS environment variable; 0 keeps the default. \
+     Results are identical at any job count."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
+(* Unit term that configures the pool before the command body runs
+   (cmdliner applies [$] left to right, so prepending this term sequences
+   the side effect first). *)
+let jobs_term =
+  Term.(
+    const (fun jobs -> if jobs > 0 then Nab_util.Pool.set_jobs jobs) $ jobs_arg)
+
+let with_jobs term = Term.(const (fun () r -> r) $ jobs_term $ term)
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -115,9 +132,10 @@ let run_cmd =
         report.instances
   in
   let term =
-    Term.(
-      const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg $ q_arg
-      $ l_arg $ verbose_arg $ backend_arg)
+    with_jobs
+      Term.(
+        const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg
+        $ q_arg $ l_arg $ verbose_arg $ backend_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run Q instances of NAB under an adversary.") term
 
@@ -147,7 +165,8 @@ let bounds_cmd =
     end
   in
   let term =
-    Term.(const bounds $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ witness_arg)
+    with_jobs
+      Term.(const bounds $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ witness_arg)
   in
   Cmd.v
     (Cmd.info "bounds" ~doc:"Compute gamma*, rho* and the Theorem 2/3 bounds.")
@@ -184,7 +203,8 @@ let pipelined_cmd =
       r.Pipelined.throughput r.Pipelined.all_delivered
   in
   let term =
-    Term.(const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ q_arg $ l_arg)
+    with_jobs
+      Term.(const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ q_arg $ l_arg)
   in
   Cmd.v
     (Cmd.info "pipelined" ~doc:"Run Q fault-free instances overlapped per Figure 3.")
@@ -240,8 +260,10 @@ let consensus_cmd =
     Printf.printf "fault-free agreement: %b\n" (Consensus.all_agree r ~faulty)
   in
   let term =
-    Term.(
-      const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg $ l_arg)
+    with_jobs
+      Term.(
+        const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg
+        $ l_arg)
   in
   Cmd.v
     (Cmd.info "consensus" ~doc:"Multi-valued consensus from n parallel NAB broadcasts.")
@@ -260,7 +282,9 @@ let stats_cmd =
         s.Params.gamma_star s.Params.rho_star s.Params.throughput_lb s.Params.capacity_ub
     end
   in
-  let term = Term.(const stats $ family_arg $ n_arg $ cap_arg $ seed_arg $ f_arg) in
+  let term =
+    with_jobs Term.(const stats $ family_arg $ n_arg $ cap_arg $ seed_arg $ f_arg)
+  in
   Cmd.v (Cmd.info "stats" ~doc:"Describe a network and its fault budget.") term
 
 (* ---- dot ---- *)

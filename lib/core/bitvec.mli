@@ -14,6 +14,11 @@ val get : t -> int -> bool
 val set : t -> int -> bool -> t
 (** Functional update. *)
 
+val init : int -> (int -> bool) -> t
+(** [init len f] has bit [i] equal to [f i]. The bit-at-a-time reference
+    constructor the blit-based {!concat}/{!slice} fast paths are tested
+    against. *)
+
 val random : int -> Random.State.t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int

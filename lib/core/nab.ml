@@ -195,6 +195,9 @@ let session_broadcast ses input0 =
           Phase1.run ~sim ~phase:"phase1" ~trees:plan.plan_trees ~source ~value ~faulty
             ~adversary:(adversary.Adversary.phase1 actx) ()
         in
+        (* The NAB data plane runs on a zero-delay fabric: phase 1 must hand
+           over with nothing still in flight (Phase1.run drains otherwise). *)
+        assert (Sim.pending_count sim = 0);
         let sizes = Phase1.slice_sizes ~value_bits ~trees:plan.plan_gamma in
         let assembled v =
           if v = source then value else Phase1.assemble ~slice_sizes:sizes (received v)
@@ -343,6 +346,7 @@ let session_broadcast ses input0 =
                 new_disputes;
               }
             in
+            assert (Sim.pending_count sim = 0);
             ses.ses_gk <- Params.apply_disputes ses.ses_gk ~total_n ~f ~disputes:ses.ses_disputes;
             report
           end

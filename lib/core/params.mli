@@ -52,6 +52,19 @@ val stars : Digraph.t -> source:int -> f:int -> star
 val gamma_star : Digraph.t -> source:int -> f:int -> int
 val rho_star : Digraph.t -> f:int -> int
 
+(** {!gamma_star}, {!gamma_star_upper} and {!u_k} fan their independent
+    per-graph computations (one Dinic max-flow per Psi graph, one
+    Stoer-Wagner cut per Omega_k member) out over [Nab_util.Pool]. Results
+    are keyed by candidate index, so every value is identical whatever
+    [NAB_JOBS]/[--jobs] says; see the pool's determinism contract. Repeated
+    gamma queries on structurally-equal Psi graphs are answered from a
+    mutex-guarded memo keyed on the canonical (edges, vertices, source)
+    triple. *)
+
+val clear_gamma_cache : unit -> unit
+(** Drop the gamma memo (used by tests to force recomputation; never needed
+    for correctness — memoized values are pure). *)
+
 val gamma_star_upper : Digraph.t -> source:int -> f:int -> samples:int -> seed:int -> int
 (** A sampled upper bound on gamma' for networks too large for the exact
     Gamma enumeration: evaluates, for each fault set F, the maximal dispute

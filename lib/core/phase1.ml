@@ -52,6 +52,23 @@ let run ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest) () =
   Array.iteri
     (fun t tbl -> Hashtbl.replace tbl source (slice_payload slices.(t)))
     received;
+  let absorb inbox =
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (sender, (pkt : Packet.t)) ->
+            (* Accept a slice only from the tree parent. *)
+            List.iteri
+              (fun t tbl ->
+                if
+                  pkt.proto = tree_proto t
+                  && Arborescence.parent trees.(t) v = Some sender
+                  && not (Hashtbl.mem tbl v)
+                then Hashtbl.replace tbl v pkt.payload)
+              (Array.to_list received))
+          (inbox v))
+      verts
+  in
   for round = 1 to max_depth do
     let outbox v =
       List.concat
@@ -79,23 +96,12 @@ let run ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest) () =
                  kids
              end))
     in
-    let inbox = Sim.round sim ~phase outbox in
-    List.iter
-      (fun v ->
-        List.iter
-          (fun (sender, (pkt : Packet.t)) ->
-            (* Accept a slice only from the tree parent. *)
-            List.iteri
-              (fun t tbl ->
-                if
-                  pkt.proto = tree_proto t
-                  && Arborescence.parent trees.(t) v = Some sender
-                  && not (Hashtbl.mem tbl v)
-                then Hashtbl.replace tbl v pkt.payload)
-              (Array.to_list received))
-          (inbox v))
-      verts
+    absorb (Sim.round sim ~phase outbox)
   done;
+  (* On a delayed network the schedule can end with slices still in flight
+     (a hop whose propagation delay reaches past round [max_depth]); drain
+     the fabric so final-hop deliveries are not silently dropped. *)
+  if Sim.pending_count sim > 0 then absorb (Sim.drain sim ~phase);
   fun v -> Array.map (fun tbl -> Hashtbl.find_opt tbl v) received
 
 let run_flood ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
@@ -118,6 +124,26 @@ let run_flood ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
   let complete () =
     List.for_all
       (fun v -> Array.for_all (fun tbl -> Hashtbl.mem tbl v) received)
+      verts
+  in
+  let absorb inbox =
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (sender, (pkt : Packet.t)) ->
+            Array.iteri
+              (fun t tbl ->
+                if
+                  pkt.Packet.proto = tree_proto t
+                  && Arborescence.parent trees.(t) v = Some sender
+                  && not (Hashtbl.mem tbl v)
+                then begin
+                  Hashtbl.replace tbl v pkt.Packet.payload;
+                  if Arborescence.children trees.(t) v <> [] then
+                    Hashtbl.replace owes.(t) v ()
+                end)
+              received)
+          (inbox v))
       verts
   in
   let round = ref 0 in
@@ -145,24 +171,10 @@ let run_flood ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
                  (Arborescence.children trees.(t) v)
              end))
     in
-    let inbox = Sim.round sim ~phase outbox in
-    List.iter
-      (fun v ->
-        List.iter
-          (fun (sender, (pkt : Packet.t)) ->
-            Array.iteri
-              (fun t tbl ->
-                if
-                  pkt.Packet.proto = tree_proto t
-                  && Arborescence.parent trees.(t) v = Some sender
-                  && not (Hashtbl.mem tbl v)
-                then begin
-                  Hashtbl.replace tbl v pkt.Packet.payload;
-                  if Arborescence.children trees.(t) v <> [] then
-                    Hashtbl.replace owes.(t) v ()
-                end)
-              received)
-          (inbox v))
-      verts
+    absorb (Sim.round sim ~phase outbox)
   done;
+  (* The flood keeps turning the engine while incomplete, so in-flight
+     messages normally arrive inside the loop; only a [max_rounds] exit can
+     leave some stranded. Drain so they at least reach [received]. *)
+  if Sim.pending_count sim > 0 then absorb (Sim.drain sim ~phase);
   fun v -> Array.map (fun tbl -> Hashtbl.find_opt tbl v) received

@@ -2,7 +2,12 @@
     identical to [Gf2p.create_with_poly ~m:8 ~poly:0x11B] but with O(1)
     multiplication and inversion via log/antilog tables. Used as a fast path
     by the coding layer when the symbol width is exactly 8 bits, and as a
-    cross-check oracle for {!Gf2p}. *)
+    cross-check oracle for {!Gf2p}.
+
+    Domain safety: the log/antilog tables are filled once at module
+    initialisation (before any domain can be spawned) and are read-only
+    afterwards, so every function here may be called from any domain without
+    synchronization. *)
 
 val field : Gf2p.t
 (** The equivalent generic descriptor (same polynomial). *)

@@ -3,10 +3,14 @@ type t = {
   taps : int; (* reduction polynomial with the leading x^m term removed *)
   mask : int; (* 2^m - 1 *)
   full : int; (* reduction polynomial including the leading term *)
-  mutable gen : int option; (* cached multiplicative generator *)
-  mutable tables : (int array * int array) option;
+  gen : int option Atomic.t; (* cached multiplicative generator *)
+  tables : (int array * int array) option Atomic.t;
       (* lazily-built (exp, log) tables for m <= table_degree_limit:
-         exp has 2*(2^m - 1) entries so products skip a modulo *)
+         exp has 2*(2^m - 1) entries so products skip a modulo.
+         Both caches are atomics so a racing domain either sees [None] (and
+         falls into the mutex-guarded build below) or a fully-built value:
+         [Atomic.set] publishes the array contents, a plain mutable field
+         would not. *)
 }
 
 let table_degree_limit = 16
@@ -100,6 +104,23 @@ let find_irreducible m =
 
 (* ------------------------------ fields ------------------------------ *)
 
+(* One mutex guards every lazily-built cache of the module: the descriptor
+   table below, and each descriptor's generator/log-table builds. The hot
+   paths ([mul], [inv]) never take it — they only do an [Atomic.get] — so
+   the double-checked slow path is the sole contention point, and it runs at
+   most once per (field, cache) pair. *)
+let cache_lock = Mutex.create ()
+
+let with_cache_lock f =
+  Mutex.lock cache_lock;
+  match f () with
+  | v ->
+      Mutex.unlock cache_lock;
+      v
+  | exception e ->
+      Mutex.unlock cache_lock;
+      raise e
+
 let table : (int, t) Hashtbl.t = Hashtbl.create 16
 
 let make_unchecked m full =
@@ -108,18 +129,19 @@ let make_unchecked m full =
     taps = full land ((1 lsl m) - 1);
     mask = (1 lsl m) - 1;
     full;
-    gen = None;
-    tables = None;
+    gen = Atomic.make None;
+    tables = Atomic.make None;
   }
 
 let create m =
   if m < 1 || m > max_degree then raise (Invalid_degree m);
-  match Hashtbl.find_opt table m with
-  | Some f -> f
-  | None ->
-      let f = make_unchecked m (find_irreducible m) in
-      Hashtbl.add table m f;
-      f
+  with_cache_lock (fun () ->
+      match Hashtbl.find_opt table m with
+      | Some f -> f
+      | None ->
+          let f = make_unchecked m (find_irreducible m) in
+          Hashtbl.add table m f;
+          f)
 
 let create_with_poly ~m ~poly =
   if m < 1 || m > max_degree then raise (Invalid_degree m);
@@ -163,13 +185,23 @@ let build_tables f =
     log_t.(!x) <- k;
     x := raw_mul !x gen
   done;
-  if f.gen = None then f.gen <- Some gen;
+  if Atomic.get f.gen = None then Atomic.set f.gen (Some gen);
   let tables = (exp_t, log_t) in
-  f.tables <- Some tables;
+  Atomic.set f.tables (Some tables);
   tables
 
 let tables_of f =
-  match f.tables with Some t -> Some t | None when f.m <= table_degree_limit -> Some (build_tables f) | None -> None
+  match Atomic.get f.tables with
+  | Some t -> Some t
+  | None when f.m <= table_degree_limit ->
+      Some
+        (with_cache_lock (fun () ->
+             (* double-checked: another domain may have built them while we
+                waited for the lock *)
+             match Atomic.get f.tables with
+             | Some t -> t
+             | None -> build_tables f))
+  | None -> None
 
 let mul f a b =
   assert (is_valid f a && is_valid f b);
@@ -204,21 +236,39 @@ let random f st = Random.State.full_int st (1 lsl f.m)
 let random_nonzero f st = 1 + Random.State.full_int st f.mask
 
 let generator f =
-  match f.gen with
+  match Atomic.get f.gen with
   | Some g -> g
   | None ->
-      let g =
-        if f.m = 1 then 1
-        else begin
-          let group = f.mask in
-          let primes = Numth.prime_divisors group in
-          let is_gen g = List.for_all (fun p -> pow f g (group / p) <> one) primes in
-          let rec search g = if is_gen g then g else search (g + 1) in
-          search 2
-        end
-      in
-      f.gen <- Some g;
-      g
+      with_cache_lock (fun () ->
+          match Atomic.get f.gen with
+          | Some g -> g
+          | None ->
+              let g =
+                if f.m = 1 then 1
+                else begin
+                  (* Raw carry-less arithmetic only: [pow f] would re-enter
+                     [tables_of] and the (non-reentrant) cache lock. *)
+                  let raw_mul = mul_with ~m:f.m ~taps:f.taps in
+                  let raw_pow x k =
+                    let rec go x k acc =
+                      if k = 0 then acc
+                      else
+                        let acc = if k land 1 = 1 then raw_mul acc x else acc in
+                        go (raw_mul x x) (k lsr 1) acc
+                    in
+                    go x k 1
+                  in
+                  let group = f.mask in
+                  let primes = Numth.prime_divisors group in
+                  let is_gen g =
+                    List.for_all (fun p -> raw_pow g (group / p) <> one) primes
+                  in
+                  let rec search g = if is_gen g then g else search (g + 1) in
+                  search 2
+                end
+              in
+              Atomic.set f.gen (Some g);
+              g)
 
 let pp f fmt x = Format.fprintf fmt "0x%0*x" ((f.m + 3) / 4) x
 let pp_field fmt f = Format.fprintf fmt "GF(2^%d) mod 0x%x" f.m f.full

@@ -4,7 +4,18 @@
     element are the coefficients of a polynomial over GF(2) reduced modulo an
     irreducible polynomial of degree [m]. All operations are total on reduced
     elements; passing an out-of-range int to an operation is a programming
-    error (checked by assertions). *)
+    error (checked by assertions).
+
+    {2 Domain safety}
+
+    Every operation of this module may be called concurrently from multiple
+    domains (e.g. from [Nab_util.Pool] tasks). The module's lazily-built
+    mutable state — the per-degree descriptor cache of {!create}, and each
+    descriptor's memoized generator and log/antilog tables — is published
+    through atomics and built under a single internal mutex, double-checked
+    so the hot paths ({!mul}, {!inv}) stay a pure table lookup and never
+    contend once a cache is warm. Arithmetic results never depend on which
+    domain triggered a cache build. *)
 
 type t
 (** A field descriptor: degree, reduction polynomial, cached constants. *)

@@ -5,28 +5,47 @@ type t = {
   log_table : int array;
 }
 
+(* The handle cache is shared mutable state: guard it with a mutex so
+   [create] is domain-safe (pool tasks build field handles on demand). The
+   arithmetic below only reads the immutable-once-built tables, so it needs
+   no synchronization. Lock order: this lock may be taken while Gf2p's
+   internal cache lock is still free; Gf2p never calls back into us, so the
+   ordering is acyclic. *)
+let cache_lock = Mutex.create ()
 let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let build m =
+  let fld = Gf2p.create m in
+  let group = Gf2p.order fld - 1 in
+  let gen = Gf2p.generator fld in
+  let exp_table = Array.make (2 * group) 0 in
+  let log_table = Array.make (Gf2p.order fld) 0 in
+  let x = ref 1 in
+  for k = 0 to group - 1 do
+    exp_table.(k) <- !x;
+    exp_table.(k + group) <- !x;
+    log_table.(!x) <- k;
+    x := Gf2p.mul fld !x gen
+  done;
+  { m; fld; exp_table; log_table }
 
 let create m =
   if m < 2 || m > 16 then raise (Gf2p.Invalid_degree m);
-  match Hashtbl.find_opt cache m with
-  | Some t -> t
-  | None ->
-      let fld = Gf2p.create m in
-      let group = Gf2p.order fld - 1 in
-      let gen = Gf2p.generator fld in
-      let exp_table = Array.make (2 * group) 0 in
-      let log_table = Array.make (Gf2p.order fld) 0 in
-      let x = ref 1 in
-      for k = 0 to group - 1 do
-        exp_table.(k) <- !x;
-        exp_table.(k + group) <- !x;
-        log_table.(!x) <- k;
-        x := Gf2p.mul fld !x gen
-      done;
-      let t = { m; fld; exp_table; log_table } in
-      Hashtbl.add cache m t;
+  Mutex.lock cache_lock;
+  match
+    match Hashtbl.find_opt cache m with
+    | Some t -> t
+    | None ->
+        let t = build m in
+        Hashtbl.add cache m t;
+        t
+  with
+  | t ->
+      Mutex.unlock cache_lock;
       t
+  | exception e ->
+      Mutex.unlock cache_lock;
+      raise e
 
 let degree t = t.m
 let generic t = t.fld

@@ -1,6 +1,10 @@
 (** Elementary number theory on native ints (used for field-generator search
     and test oracles). All functions assume non-negative arguments that fit in
-    the 63-bit native int range. *)
+    the 63-bit native int range.
+
+    Domain safety: the module holds no global mutable state — {!factor}'s
+    RNG and factor table are allocated per call — so every function may be
+    called concurrently from multiple domains. *)
 
 val mulmod : int -> int -> int -> int
 (** [mulmod a b n] is [a * b mod n] without intermediate overflow, for

@@ -1,8 +1,8 @@
 (* Textbook Stoer-Wagner with an adjacency matrix and vertex merging; each
    matrix slot tracks the set of original vertices merged into it. *)
 
-let min_cut g =
-  let verts = Array.of_list (Ugraph.vertices g) in
+let min_cut_edges ~vertices es =
+  let verts = Array.of_list vertices in
   let n = Array.length verts in
   if n < 2 then invalid_arg "Stoer_wagner.min_cut: need at least two vertices";
   let w = Array.make_matrix n n 0 in
@@ -10,9 +10,11 @@ let min_cut g =
     (fun (u, v, c) ->
       let iu = ref 0 and iv = ref 0 in
       Array.iteri (fun i x -> if x = u then iu := i else if x = v then iv := i) verts;
-      w.(!iu).(!iv) <- c;
-      w.(!iv).(!iu) <- c)
-    (Ugraph.edges g);
+      (* Accumulate: an edge list carrying a duplicate pair must contribute
+         its total capacity, not just the last entry's. *)
+      w.(!iu).(!iv) <- w.(!iu).(!iv) + c;
+      w.(!iv).(!iu) <- w.(!iu).(!iv))
+    es;
   let groups = Array.init n (fun i -> Vset.singleton verts.(i)) in
   let active = Array.make n true in
   let best = ref max_int and best_side = ref Vset.empty in
@@ -52,4 +54,5 @@ let min_cut g =
   done;
   (!best, !best_side)
 
+let min_cut g = min_cut_edges ~vertices:(Ugraph.vertices g) (Ugraph.edges g)
 let min_cut_value g = fst (min_cut g)

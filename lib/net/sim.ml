@@ -112,6 +112,27 @@ let round t ~phase outbox =
     (try Hashtbl.find inboxes v with Not_found -> [])
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let pending_count t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.pending 0
+
+let drain t ~phase =
+  (* Messages already on delayed links keep flying even when no node has
+     anything left to send: run empty rounds until the fabric is quiet.
+     Terminates because an empty outbox adds nothing to [pending] and every
+     round advances [round_no] towards the largest due round. *)
+  let merged : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
+  while pending_count t > 0 do
+    let inbox = round t ~phase (fun _ -> []) in
+    List.iter
+      (fun v ->
+        match inbox v with
+        | [] -> ()
+        | arrivals ->
+            Hashtbl.replace merged v
+              ((try Hashtbl.find merged v with Not_found -> []) @ arrivals))
+      (Digraph.vertices t.g)
+  done;
+  fun v -> try Hashtbl.find merged v with Not_found -> []
+
 let add_cost t ~phase c =
   let acc = phase_acc t phase in
   acc.p_extra <- acc.p_extra +. c

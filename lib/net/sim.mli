@@ -37,6 +37,19 @@ val round : 'm t -> phase:string -> (int -> (int * 'm) list) -> int -> (int * 'm
     faulty or not — cannot invent links. The result maps each node to its
     inbox as [(sender, message)] pairs, sorted by sender. *)
 
+val pending_count : 'm t -> int
+(** Messages accepted by {!round} onto delayed links whose due round has not
+    been executed yet. A protocol that stops calling {!round} while this is
+    non-zero silently strands those messages — finish with {!drain} or
+    assert this is 0. *)
+
+val drain : 'm t -> phase:string -> int -> (int * 'm) list
+(** [drain sim ~phase] runs rounds with empty outboxes until no message is
+    in flight, accounting the (traffic-free) rounds to [phase], and returns
+    the merged late arrivals per node: the concatenation of the per-round
+    inboxes in delivery order, each sorted by sender as {!round} returns
+    them. No-op returning empty inboxes when nothing is pending. *)
+
 type phase_stat = {
   phase : string;
   rounds : int;

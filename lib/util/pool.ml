@@ -1,0 +1,148 @@
+(* Lazily-spawned, process-lifetime domain pool. Results are always keyed
+   by input index, so parallel maps are observably identical to List.map;
+   the caller of a batch executes queued tasks while it waits, which makes
+   nested maps deadlock-free (whoever waits, works). *)
+
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t; (* the queue may have become non-empty *)
+  settled : Condition.t; (* some batch reached remaining = 0 *)
+  queue : (unit -> unit) Queue.t;
+  mutable workers : int;
+  mutable handles : unit Domain.t list;
+  mutable shutdown : bool;
+}
+
+type batch = { mutable remaining : int; mutable failure : (int * exn) option }
+
+let pool =
+  {
+    lock = Mutex.create ();
+    work = Condition.create ();
+    settled = Condition.create ();
+    queue = Queue.create ();
+    workers = 0;
+    handles = [];
+    shutdown = false;
+  }
+
+(* Leave headroom under the runtime's ~128-domain limit: callers may nest
+   maps, and the main domain plus any library domains also count. *)
+let max_workers = 120
+
+let override = ref None
+
+let set_jobs n = override := Some (max 1 n)
+
+let jobs () =
+  match !override with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt "NAB_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> n
+          | Some _ | None -> Domain.recommended_domain_count ())
+      | None -> Domain.recommended_domain_count ())
+
+let running_workers () =
+  Mutex.lock pool.lock;
+  let w = pool.workers in
+  Mutex.unlock pool.lock;
+  w
+
+let rec worker_loop () =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.shutdown do
+    Condition.wait pool.work pool.lock
+  done;
+  match Queue.take_opt pool.queue with
+  | None ->
+      (* shutdown with an empty queue *)
+      Mutex.unlock pool.lock
+  | Some task ->
+      Mutex.unlock pool.lock;
+      task ();
+      worker_loop ()
+
+let stop_workers () =
+  Mutex.lock pool.lock;
+  pool.shutdown <- true;
+  Condition.broadcast pool.work;
+  let hs = pool.handles in
+  pool.handles <- [];
+  Mutex.unlock pool.lock;
+  List.iter Domain.join hs
+
+let exit_hook_registered = ref false
+
+(* Grow the pool to [target] workers (never shrinks; the domains are
+   reused for the rest of the process). *)
+let ensure_workers target =
+  let target = min target max_workers in
+  Mutex.lock pool.lock;
+  let missing = max 0 (target - pool.workers) in
+  pool.workers <- pool.workers + missing;
+  let register = missing > 0 && not !exit_hook_registered in
+  if register then exit_hook_registered := true;
+  Mutex.unlock pool.lock;
+  (* The runtime only shuts down cleanly once every domain has terminated:
+     wake the (by then idle) workers and join them when the process exits. *)
+  if register then at_exit stop_workers;
+  for _ = 1 to missing do
+    let d = Domain.spawn worker_loop in
+    Mutex.lock pool.lock;
+    pool.handles <- d :: pool.handles;
+    Mutex.unlock pool.lock
+  done
+
+let run_batch n task_of =
+  let b = { remaining = n; failure = None } in
+  let task i () =
+    (match task_of i with
+    | () -> ()
+    | exception e ->
+        Mutex.lock pool.lock;
+        (match b.failure with
+        | Some (j, _) when j <= i -> ()
+        | Some _ | None -> b.failure <- Some (i, e));
+        Mutex.unlock pool.lock);
+    Mutex.lock pool.lock;
+    b.remaining <- b.remaining - 1;
+    if b.remaining = 0 then Condition.broadcast pool.settled;
+    Mutex.unlock pool.lock
+  in
+  Mutex.lock pool.lock;
+  for i = 0 to n - 1 do
+    Queue.add (task i) pool.queue
+  done;
+  Condition.broadcast pool.work;
+  (* Help-first wait: run queued tasks (ours or a nested batch's) until this
+     batch settles; only block when the queue is momentarily empty. *)
+  while b.remaining > 0 do
+    match Queue.take_opt pool.queue with
+    | Some t ->
+        Mutex.unlock pool.lock;
+        t ();
+        Mutex.lock pool.lock
+    | None -> if b.remaining > 0 then Condition.wait pool.settled pool.lock
+  done;
+  Mutex.unlock pool.lock;
+  match b.failure with Some (_, e) -> raise e | None -> ()
+
+let mapi ?jobs:j f xs =
+  let j = match j with Some j -> max 1 j | None -> jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ when j <= 1 -> List.mapi f xs
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      ensure_workers (min j n - 1);
+      run_batch n (fun i -> results.(i) <- Some (f i arr.(i)));
+      Array.to_list
+        (Array.map (function Some v -> v | None -> assert false) results)
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs

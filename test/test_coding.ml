@@ -40,6 +40,58 @@ let test_symbols_roundtrip =
           && Array.for_all (fun s -> s >= 0 && s < 1 lsl sym_bits) syms)
         [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 48 ])
 
+(* Bit-by-bit references for the blit fast paths. Building them with [init]
+   also pins the padding-bits-zero invariant: [Bitvec.equal] is structural
+   on the packed bytes, so a fast path leaving junk in the last byte fails
+   these even when every addressable bit agrees. *)
+let concat_ref parts =
+  let total = List.fold_left (fun acc p -> acc + Bitvec.length p) 0 parts in
+  let arr = Array.make total false in
+  let pos = ref 0 in
+  List.iter
+    (fun p ->
+      for i = 0 to Bitvec.length p - 1 do
+        arr.(!pos + i) <- Bitvec.get p i
+      done;
+      pos := !pos + Bitvec.length p)
+    parts;
+  Bitvec.init total (fun i -> arr.(i))
+
+let slice_ref v ~pos ~len = Bitvec.init len (fun i -> Bitvec.get v (pos + i))
+
+let test_concat_matches_reference =
+  (* Mixed lengths so parts start both byte-aligned and mid-byte. *)
+  qtest "concat = bit-by-bit reference"
+    QCheck2.Gen.(
+      list_size (int_range 0 6) (int_range 0 40) >>= fun lens ->
+      int_range 0 100_000 >>= fun seed ->
+      let st = Random.State.make [| seed |] in
+      return (List.map (fun l -> Bitvec.random l st) lens))
+    (fun parts -> Bitvec.equal (concat_ref parts) (Bitvec.concat parts))
+
+let test_slice_matches_reference =
+  qtest "slice = bit-by-bit reference"
+    QCheck2.Gen.(
+      int_range 0 80 >>= fun total ->
+      int_range 0 total >>= fun pos ->
+      int_range 0 (total - pos) >>= fun len ->
+      int_range 0 100_000 >>= fun seed ->
+      return (Bitvec.random total (Random.State.make [| seed |]), pos, len))
+    (fun (v, pos, len) ->
+      Bitvec.equal (slice_ref v ~pos ~len) (Bitvec.slice v ~pos ~len))
+
+let test_slice_aligned_exact () =
+  (* Deterministic probes of the byte-aligned fast path, including a
+     non-multiple-of-8 length whose padding must come out clean. *)
+  let v = Bitvec.of_string "\xA5\x3C\x7E" in
+  List.iter
+    (fun (pos, len) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slice pos=%d len=%d" pos len)
+        true
+        (Bitvec.equal (slice_ref v ~pos ~len) (Bitvec.slice v ~pos ~len)))
+    [ (0, 24); (8, 16); (16, 8); (8, 11); (0, 3); (5, 13); (23, 1); (24, 0) ]
+
 let test_slice_semantics () =
   let v = Bitvec.of_string "\xF0" in
   Alcotest.(check int) "8 bits" 8 (Bitvec.length v);
@@ -527,6 +579,9 @@ let () =
           Alcotest.test_case "basics" `Quick test_bitvec_basics;
           test_split_concat_roundtrip;
           test_symbols_roundtrip;
+          test_concat_matches_reference;
+          test_slice_matches_reference;
+          Alcotest.test_case "aligned slice probes" `Quick test_slice_aligned_exact;
           Alcotest.test_case "slice semantics" `Quick test_slice_semantics;
           Alcotest.test_case "pad_to" `Quick test_pad_to;
           Alcotest.test_case "random padding clean" `Quick

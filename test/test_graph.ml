@@ -153,6 +153,45 @@ let test_stoer_wagner_known () =
   Alcotest.(check int) "U {1,2,4}" 2 (Stoer_wagner.min_cut_value u124);
   Alcotest.(check int) "U {1,3,4}" 3 (Stoer_wagner.min_cut_value u134)
 
+let test_stoer_wagner_duplicate_edges () =
+  (* The seed adjacency matrix overwrote on a repeated pair, so a
+     multigraph-style edge list lost all but the last entry. (1,2) is split
+     1 + 1 below and is on the min cut: overwriting yields 4, the true
+     value is 5. Cross-checked against Karger on the summed simple graph. *)
+  let vertices = [ 1; 2; 3 ] in
+  let dup = [ (1, 2, 1); (1, 2, 1); (2, 3, 3); (1, 3, 3) ] in
+  let summed = Ugraph.of_edges [ (1, 2, 2); (2, 3, 3); (1, 3, 3) ] in
+  let v_dup, side = Stoer_wagner.min_cut_edges ~vertices dup in
+  Alcotest.(check int) "duplicates accumulate" 5 v_dup;
+  Alcotest.(check int) "matches simple-graph Stoer-Wagner" v_dup
+    (Stoer_wagner.min_cut_value summed);
+  let v_karger, _ =
+    Karger.min_cut summed ~trials:(Karger.recommended_trials summed) ~seed:13
+  in
+  Alcotest.(check int) "matches Karger on the summed graph" v_dup v_karger;
+  let crossing =
+    List.fold_left
+      (fun acc (a, b, c) -> if Vset.mem a side <> Vset.mem b side then acc + c else acc)
+      0 dup
+  in
+  Alcotest.(check int) "returned side realises the value" v_dup crossing
+
+let test_stoer_wagner_duplicate_edges_random =
+  qtest ~count:40 "split edge = summed edge (Karger cross-check)" graph_gen
+    (fun g ->
+      let u = Ugraph.of_digraph g in
+      (* Split every edge into two entries summing to its capacity. *)
+      let split =
+        Ugraph.fold_edges
+          (fun a b c acc ->
+            if c > 1 then (a, b, 1) :: (a, b, c - 1) :: acc else (a, b, c) :: acc)
+          u []
+      in
+      let v_split, _ = Stoer_wagner.min_cut_edges ~vertices:(Ugraph.vertices u) split in
+      let sw = Stoer_wagner.min_cut_value u in
+      let v_karger, _ = Karger.min_cut u ~trials:(Karger.recommended_trials u) ~seed:7 in
+      v_split = sw && v_split = v_karger)
+
 let test_stoer_wagner_vs_pairwise =
   qtest ~count:60 "global min cut = min pairwise min cut" graph_gen (fun g ->
       let u = Ugraph.of_digraph g in
@@ -498,6 +537,9 @@ let () =
       ( "stoer-wagner",
         [
           Alcotest.test_case "paper example" `Quick test_stoer_wagner_known;
+          Alcotest.test_case "duplicate edge pairs accumulate" `Quick
+            test_stoer_wagner_duplicate_edges;
+          test_stoer_wagner_duplicate_edges_random;
           test_stoer_wagner_vs_pairwise;
           test_stoer_wagner_partition;
         ] );

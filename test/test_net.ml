@@ -178,6 +178,27 @@ let test_sim_duration_property =
          in
          Float.abs (Sim.elapsed sim -. expected) < 1e-9))
 
+let test_sim_pending_and_drain () =
+  (* A 2-round delay on (2,3): after node 1's flag reaches 2 and 2 forwards,
+     the forwarded copy is still in flight once the sender goes quiet. The
+     seed simulator dropped such messages on the floor; [pending_count] must
+     expose them and [drain] must deliver them. *)
+  let delays (src, dst) = if (src, dst) = (2, 3) then 2 else 0 in
+  let sim = Sim.create ~delays line_graph ~bits:Packet.bits in
+  drop (Sim.round sim ~phase:"p" (fun v -> if v = 2 then [ (3, flag true) ] else []));
+  Alcotest.(check int) "one message in flight" 1 (Sim.pending_count sim);
+  let late = Sim.drain sim ~phase:"p" in
+  Alcotest.(check int) "drained" 0 (Sim.pending_count sim);
+  (match late 3 with
+  | [ (sender, pkt) ] ->
+      Alcotest.(check int) "late sender" 2 sender;
+      Alcotest.(check bool) "late payload" true (pkt.Packet.payload = Wire.Flag true)
+  | l -> Alcotest.fail (Printf.sprintf "expected one late arrival, got %d" (List.length l)));
+  Alcotest.(check int) "others empty" 0 (List.length (late 1));
+  (* Draining an idle simulator is a no-op. *)
+  let empty = Sim.drain sim ~phase:"p" in
+  Alcotest.(check int) "no-op drain" 0 (List.length (empty 3))
+
 let test_sim_rejects_zero_bits () =
   let sim = Sim.create line_graph ~bits:(fun _ -> 0) in
   Alcotest.check_raises "zero-size message"
@@ -203,6 +224,7 @@ let () =
           Alcotest.test_case "phases" `Quick test_sim_phases;
           Alcotest.test_case "events" `Quick test_sim_events;
           test_sim_duration_property;
+          Alcotest.test_case "pending count and drain" `Quick test_sim_pending_and_drain;
           Alcotest.test_case "rejects zero bits" `Quick test_sim_rejects_zero_bits;
         ] );
     ]

@@ -179,6 +179,26 @@ let test_phase1_flood_with_delays () =
   Alcotest.(check bool) "delays cost extra rounds" true
     (Sim.rounds_run sim > baseline_rounds)
 
+let test_phase1_run_drains_delayed_final_hop () =
+  (* A 2-round delay on the final hop of the line 1 -> 2 -> 3: the slice
+     node 2 forwards in round 2 is still in flight when the scheduled
+     variant's depth-many rounds are done. The seed [Phase1.run] returned
+     with that message stranded in the simulator and node 3 reassembled
+     zeros; [run] must drain in-flight traffic before returning. *)
+  let g = Digraph.of_edges [ (1, 2, 1); (2, 1, 1); (2, 3, 1); (3, 2, 1) ] in
+  let trees = Arborescence.pack g ~root:1 ~k:1 in
+  let l = 16 in
+  let value = Bitvec.random l (Random.State.make [| 21 |]) in
+  let sizes = Phase1.slice_sizes ~value_bits:l ~trees:1 in
+  let delays (src, dst) = if (src, dst) = (2, 3) then 2 else 0 in
+  let sim = Sim.create ~delays g ~bits:Packet.bits in
+  let received =
+    Phase1.run ~sim ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+  in
+  Alcotest.(check int) "nothing stranded" 0 (Sim.pending_count sim);
+  Alcotest.(check bool) "node 3 reassembles the value" true
+    (Bitvec.equal value (Phase1.assemble ~slice_sizes:sizes (received 3)))
+
 (* ---------- RLNC alternative Phase 1 ---------- *)
 
 let test_rlnc_decodes_everywhere () =
@@ -783,6 +803,8 @@ let () =
             test_phase1_flood_matches_scheduled;
           Alcotest.test_case "flood with propagation delays" `Quick
             test_phase1_flood_with_delays;
+          Alcotest.test_case "scheduled run drains delayed final hop" `Quick
+            test_phase1_run_drains_delayed_final_hop;
         ] );
       ( "rlnc",
         [
