@@ -11,6 +11,12 @@
      dune exec bench/main.exe -- --no-micro   # skip bechamel timing
      dune exec bench/main.exe -- --jobs 4     # domain count for the sweeps
                                               # (also: NAB_JOBS env var)
+     dune exec bench/main.exe -- --trace t.jsonl --metrics m.csv
+                                              # observability artifacts for
+                                              # the protocol runs
+     dune exec bench/main.exe -- --json reports.jsonl
+                                              # one Report.run_to_json line
+                                              # per NAB run (jq-able)
 
    The analytic sweeps (E5, E10, E11) and the gamma*/U_k machinery they call
    fan out over Nab_util.Pool. Results are keyed by input index and every
@@ -37,6 +43,28 @@ let inputs_for ~l ~seed =
         let v = Bitvec.random l rng in
         Hashtbl.add tbl k v;
         v
+
+(* --trace/--metrics/--json artifact plumbing (wired up in main below).
+   Only the sequential protocol runs report here: E11 executes its runs
+   under Pool.map, where the event interleaving would depend on the job
+   count, and the bechamel micro-loop would drown the trace. *)
+let obs = ref Nab_obs.null
+let json_chan = ref None
+
+let nab_run ~ex ~g ~config ~adversary ~inputs ~q () =
+  let report = Nab.run ~obs:!obs ~g ~config ~adversary ~inputs ~q () in
+  (match !json_chan with
+  | None -> ()
+  | Some oc ->
+      let j =
+        match Report.run_to_json report with
+        | Nab_obs.Json.Obj fields ->
+            Nab_obs.Json.Obj (("experiment", Nab_obs.Json.Str ex) :: fields)
+        | j -> j
+      in
+      output_string oc (Nab_obs.Json.to_string j);
+      output_char oc '\n');
+  report
 
 (* ------------------------------------------------------------------ *)
 (* E1 - Figure 1: example graphs, MINCUTs, gamma, Omega_k, U_k         *)
@@ -109,9 +137,10 @@ let e3 () =
      cost equals the Figure-3 round length L/gamma + L/rho + flag overhead. *)
   let g = Gen.dumbbell ~clique:3 ~clique_cap:4 ~bridge_cap:2 in
   let l = 4096 in
-  let config = { Nab.default_config with f = 1; l_bits = l; m = 16 } in
+  let config = Nab.config ~f:1 ~l_bits:l ~m:16 () in
   let report =
-    Nab.run ~g ~config ~adversary:Adversary.none ~inputs:(inputs_for ~l ~seed:3) ~q:2
+    nab_run ~ex:"e3" ~g ~config ~adversary:Adversary.none
+      ~inputs:(inputs_for ~l ~seed:3) ~q:2 ()
   in
   let inst = List.hd report.Nab.instances in
   let analytic_core =
@@ -250,10 +279,10 @@ let e6 () =
       let s = Params.stars g ~source:1 ~f:1 in
       List.iter
         (fun l ->
-          let config = { Nab.default_config with f = 1; l_bits = l; m = 16 } in
+          let config = Nab.config ~f:1 ~l_bits:l ~m:16 () in
           let report =
-            Nab.run ~g ~config ~adversary:Adversary.dormant
-              ~inputs:(inputs_for ~l ~seed:42) ~q:3
+            nab_run ~ex:"e6" ~g ~config ~adversary:Adversary.dormant
+              ~inputs:(inputs_for ~l ~seed:42) ~q:3 ()
           in
           let t = report.Nab.throughput_pipelined in
           Printf.printf "%-22s %-6d %-10.3f %-10.3f %8.1f%% %-9.2f %s\n" name l t
@@ -275,9 +304,10 @@ let e7 () =
   section "e7" "Dispute control amortisation: cost/instance vs Q (<= f(f+1) DCs)";
   let g = Gen.ring_with_chords ~n:7 ~cap:2 ~chord_cap:2 in
   let l = 2048 in
-  let config = { Nab.default_config with f = 1; l_bits = l; m = 16 } in
+  let config = Nab.config ~f:1 ~l_bits:l ~m:16 () in
   let clean =
-    Nab.run ~g ~config ~adversary:Adversary.none ~inputs:(inputs_for ~l ~seed:5) ~q:2
+    nab_run ~ex:"e7" ~g ~config ~adversary:Adversary.none
+      ~inputs:(inputs_for ~l ~seed:5) ~q:2 ()
   in
   let clean_rate = clean.Nab.throughput_pipelined in
   Printf.printf "adversary: ec-liar on the chordal 7-ring; fault-free rate %.3f\n\n"
@@ -288,8 +318,8 @@ let e7 () =
   List.iter
     (fun q ->
       let report =
-        Nab.run ~g ~config ~adversary:Adversary.ec_liar ~inputs:(inputs_for ~l ~seed:5)
-          ~q
+        nab_run ~ex:"e7" ~g ~config ~adversary:Adversary.ec_liar
+          ~inputs:(inputs_for ~l ~seed:5) ~q ()
       in
       Printf.printf "%-6d %-4d %-14.1f %-12.3f %7.1f%%\n" q report.Nab.dc_count
         (report.Nab.total_pipelined /. float_of_int q)
@@ -327,10 +357,10 @@ let e8 () =
     (fun c ->
       let g = thin_k4 c in
       let s = Params.stars g ~source:1 ~f:1 in
-      let config = { Nab.default_config with f = 1; l_bits = l; m = 16 } in
+      let config = Nab.config ~f:1 ~l_bits:l ~m:16 () in
       let nab =
-        Nab.run ~g ~config ~adversary:Adversary.dormant ~inputs:(inputs_for ~l ~seed:9)
-          ~q:2
+        nab_run ~ex:"e8" ~g ~config ~adversary:Adversary.dormant
+          ~inputs:(inputs_for ~l ~seed:9) ~q:2 ()
       in
       (* The oblivious baseline: plain EIG of the L-bit value. *)
       let sim = Nab_net.Sim.create g ~bits:Nab_net.Packet.bits in
@@ -342,7 +372,7 @@ let e8 () =
         Nab_classic.Oblivious.broadcast ~sim ~routing ~f:1 ~source:1 ~value_bits:l ~data
           ~faulty:Vset.empty ()
       in
-      let obl = float_of_int l /. Nab_net.Sim.pipelined_elapsed sim in
+      let obl = float_of_int l /. (Nab_net.Sim.timing sim).Nab_net.Sim.pipelined in
       Printf.printf "%-6d %-12.3f %-12.4f %-12.2f %6.1fx\n" c
         nab.Nab.throughput_pipelined obl s.Params.throughput_lb
         (nab.Nab.throughput_pipelined /. obl))
@@ -397,7 +427,7 @@ let e9 () =
              r.Rlnc.decoded
       in
       Printf.printf "%-12s %-6d %-10.0f %-10.0f %-8d %-12d %b\n" name gamma
-        (Nab_net.Sim.elapsed sim_tree) r.Rlnc.wall_time r.Rlnc.rounds r.Rlnc.header_bits
+        ((Nab_net.Sim.timing sim_tree).Nab_net.Sim.wall) r.Rlnc.wall_time r.Rlnc.rounds r.Rlnc.header_bits
         (tree_ok && rlnc_ok))
     [
       ("K4 cap 2", Gen.complete ~n:4 ~cap:2);
@@ -437,11 +467,11 @@ let e10 () =
         time (fun () ->
             Arborescence.pack g ~root:1 ~k:(Params.gamma_k g ~source:1))
       in
-      let config = { Nab.default_config with f = 1; l_bits = 256; m = 8 } in
+      let config = Nab.config ~f:1 ~l_bits:256 ~m:8 () in
       let _, t_inst =
         time (fun () ->
-            Nab.run ~g ~config ~adversary:Adversary.none
-              ~inputs:(inputs_for ~l:256 ~seed:1) ~q:1)
+            nab_run ~ex:"e10" ~g ~config ~adversary:Adversary.none
+              ~inputs:(inputs_for ~l:256 ~seed:1) ~q:1 ())
       in
       Printf.printf "%-4d %-12.1f %-12.1f %-14.1f %-14.1f %b\n" n t_gamma t_rho t_plan
         t_inst (sampled = exact))
@@ -489,10 +519,10 @@ let e11 () =
         float_of_int (gamma * rho) /. float_of_int (gamma + rho)
       in
       let c_ub = Float.min (float_of_int gamma) (2.0 *. float_of_int rho) in
-      let config = { Nab.default_config with f; l_bits = l; m = 16 } in
+      let config = Nab.config ~f ~l_bits:l ~m:16 () in
       let report =
         Nab.run ~g ~config ~adversary:Adversary.dormant ~inputs:(inputs_for ~l ~seed:4)
-          ~q:2
+          ~q:2 ()
       in
       (f, gamma, rho, t_lb, c_ub, report.Nab.throughput_pipelined))
     [ 0; 1; 2; 3 ]
@@ -527,7 +557,7 @@ let micro () =
   let coding, _ = Coding.generate_correct k4 ~omega ~rho ~m:16 ~seed:1 () in
   let x = Array.init (rho * 4) (fun i -> (i * 257) land 0xffff) in
   let bv = Bitvec.random 4096 st in
-  let nab_config = { Nab.default_config with f = 1; l_bits = 512; m = 8 } in
+  let nab_config = Nab.config ~f:1 ~l_bits:512 ~m:8 () in
   let nab_inputs = inputs_for ~l:512 ~seed:77 in
   let tests =
     [
@@ -547,7 +577,7 @@ let micro () =
       Test.make ~name:"nab.instance.k4"
         (Staged.stage (fun () ->
              Nab.run ~g:k4 ~config:nab_config ~adversary:Adversary.none
-               ~inputs:nab_inputs ~q:1));
+               ~inputs:nab_inputs ~q:1 ()));
       Test.make ~name:"gomory-hu.n12"
         (Staged.stage (fun () -> Gomory_hu.build u12));
       Test.make ~name:"edmonds-karp.k8"
@@ -625,6 +655,27 @@ let () =
     find args
   in
   let no_micro = List.mem "--no-micro" args in
+  let file_of flag =
+    let rec find = function
+      | x :: path :: _ when x = flag -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let chans = ref [] in
+  let open_artifact path =
+    let oc = open_out path in
+    chans := oc :: !chans;
+    oc
+  in
+  let sinks =
+    List.filter_map
+      (fun (flag, mk) -> Option.map (fun p -> mk (open_artifact p)) (file_of flag))
+      [ ("--trace", Nab_obs.jsonl_sink); ("--metrics", Nab_obs.csv_sink) ]
+  in
+  if sinks <> [] then obs := Nab_obs.make sinks;
+  Option.iter (fun p -> json_chan := Some (open_artifact p)) (file_of "--json");
   (match only with
   | Some id when id <> "micro" -> (
       match List.assoc_opt id experiments with
@@ -636,4 +687,6 @@ let () =
   | Some _ -> micro ()
   | None ->
       List.iter (fun (_, f) -> f ()) experiments;
-      if not no_micro then micro ())
+      if not no_micro then micro ());
+  Nab_obs.close !obs;
+  List.iter close_out !chans

@@ -61,6 +61,54 @@ let jobs_term =
 
 let with_jobs term = Term.(const (fun () r -> r) $ jobs_term $ term)
 
+(* ---- observability arguments ---- *)
+
+let trace_arg =
+  let doc =
+    "Write a JSONL trace (spans, rounds, sampled messages) to $(docv); see \
+     doc/API.md for the schema. Validate with trace_lint."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write aggregated counters/gauges/histograms as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let sample_arg =
+  let doc =
+    "With --trace: also record every $(docv)-th delivered message as a trace \
+     event (0 = rounds only)."
+  in
+  Arg.(value & opt int 0 & info [ "sample-messages" ] ~docv:"S" ~doc)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print the run report as a single JSON object instead of tables.")
+
+(* Build a context over the requested artifact files, hand it to [f], and
+   flush/close everything even if [f] raises. *)
+let with_obs ~trace ~metrics ~sample f =
+  let file_sink make = function
+    | None -> None
+    | Some path ->
+        let oc = open_out path in
+        Some (make oc, oc)
+  in
+  match
+    List.filter_map Fun.id
+      [ file_sink Nab_obs.jsonl_sink trace; file_sink Nab_obs.csv_sink metrics ]
+  with
+  | [] -> f Nab_obs.null
+  | pairs ->
+      let ctx = Nab_obs.make ~sample_messages:sample (List.map fst pairs) in
+      Fun.protect
+        ~finally:(fun () ->
+          Nab_obs.close ctx;
+          List.iter (fun (_, oc) -> close_out oc) pairs)
+        (fun () -> f ctx)
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -84,7 +132,8 @@ let run_cmd =
       & info [ "flag-backend" ] ~docv:"BB"
           ~doc:"Broadcast_Default backend for the step-2.2 flags.")
   in
-  let run family n cap f seed adversary q l verbose backend =
+  let run family n cap f seed adversary q l verbose backend trace metrics sample json
+      =
     setup_logs ();
     let g = make_graph family n cap seed in
     let adv =
@@ -92,7 +141,7 @@ let run_cmd =
       | Some a -> a
       | None -> invalid_arg (Printf.sprintf "unknown adversary %S" adversary)
     in
-    let config = { Nab.default_config with f; l_bits = l; seed; flag_backend = backend } in
+    let config = Nab.config ~f ~l_bits:l ~seed ~flag_backend:backend () in
     let rng = Random.State.make [| seed; 0x1ca11 |] in
     let tbl = Hashtbl.create 16 in
     let inputs k =
@@ -103,39 +152,47 @@ let run_cmd =
           Hashtbl.add tbl k v;
           v
     in
-    let report = Nab.run ~g ~config ~adversary:adv ~inputs ~q in
-    Printf.printf "network: %s (n=%d), f=%d, L=%d, Q=%d, adversary=%s, faulty=[%s]\n"
-      family (Digraph.num_vertices g) f l q adversary
-      (String.concat "," (List.map string_of_int (Vset.elements report.faulty)));
-    Printf.printf "%-4s %-7s %-5s %-5s %-9s %-9s %-4s %s\n" "k" "gamma_k" "rho_k" "flag"
-      "wall" "pipelined" "DC" "new disputes";
-    List.iter
-      (fun (i : Nab.instance_report) ->
-        Printf.printf "%-4d %-7d %-5d %-5b %-9.2f %-9.2f %-4b %s\n" i.k i.gamma_k
-          i.rho_k i.mismatch i.wall_time i.pipelined_time i.dc_run
-          (String.concat ","
-             (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) i.new_disputes)))
-      report.instances;
-    Printf.printf
-      "agreement=%b validity=%b dispute-control runs=%d (budget f(f+1)=%d)\n"
-      (Nab.fault_free_agree report)
-      (Nab.valid_outputs report ~inputs)
-      report.dc_count
-      (f * (f + 1));
-    Printf.printf "throughput: wall %.3f bits/unit, pipelined %.3f bits/unit\n"
-      report.throughput_wall report.throughput_pipelined;
-    if verbose then
+    let report =
+      with_obs ~trace ~metrics ~sample (fun obs ->
+          Nab.run ~obs ~g ~config ~adversary:adv ~inputs ~q ())
+    in
+    if json then
+      print_endline (Nab_obs.Json.to_string (Report.run_to_json report))
+    else begin
+      Printf.printf "network: %s (n=%d), f=%d, L=%d, Q=%d, adversary=%s, faulty=[%s]\n"
+        family (Digraph.num_vertices g) f l q adversary
+        (String.concat "," (List.map string_of_int (Vset.elements report.faulty)));
+      Printf.printf "%-4s %-7s %-5s %-5s %-9s %-9s %-4s %s\n" "k" "gamma_k" "rho_k"
+        "flag" "wall" "pipelined" "DC" "new disputes";
       List.iter
         (fun (i : Nab.instance_report) ->
-          Printf.printf "\n-- instance %d --\n" i.Nab.k;
-          Format.printf "%a@." Report.pp_phase_breakdown i)
-        report.instances
+          Printf.printf "%-4d %-7d %-5d %-5b %-9.2f %-9.2f %-4b %s\n" i.k i.gamma_k
+            i.rho_k i.mismatch i.wall_time i.pipelined_time i.dc_run
+            (String.concat ","
+               (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) i.new_disputes)))
+        report.instances;
+      Printf.printf
+        "agreement=%b validity=%b dispute-control runs=%d (budget f(f+1)=%d)\n"
+        (Nab.fault_free_agree report)
+        (Nab.valid_outputs report ~inputs)
+        report.dc_count
+        (f * (f + 1));
+      Printf.printf "throughput: wall %.3f bits/unit, pipelined %.3f bits/unit\n"
+        report.throughput_wall report.throughput_pipelined;
+      if verbose then
+        List.iter
+          (fun (i : Nab.instance_report) ->
+            Printf.printf "\n-- instance %d --\n" i.Nab.k;
+            Format.printf "%a@." Report.pp_phase_breakdown i)
+          report.instances
+    end
   in
   let term =
     with_jobs
       Term.(
         const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg
-        $ q_arg $ l_arg $ verbose_arg $ backend_arg)
+        $ q_arg $ l_arg $ verbose_arg $ backend_arg $ trace_arg $ metrics_arg
+        $ sample_arg $ json_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run Q instances of NAB under an adversary.") term
 
@@ -182,7 +239,7 @@ let pipelined_cmd =
   let run family n cap f seed q l =
     setup_logs ();
     let g = make_graph family n cap seed in
-    let config = { Nab.default_config with f; l_bits = l; seed } in
+    let config = Nab.config ~f ~l_bits:l ~seed () in
     let rng = Random.State.make [| seed; 0x9199 |] in
     let tbl = Hashtbl.create 16 in
     let inputs k =
@@ -239,7 +296,7 @@ let consensus_cmd =
       | Some a -> a
       | None -> invalid_arg (Printf.sprintf "unknown adversary %S" adversary)
     in
-    let config = { Nab.default_config with f; l_bits = l; seed } in
+    let config = Nab.config ~f ~l_bits:l ~seed () in
     (* A realistic vote: honest proposers agree on the payload, the last
        node proposes something else. *)
     let rng = Random.State.make [| seed; 0xc0 |] in

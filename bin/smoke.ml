@@ -6,7 +6,7 @@ open Nab_core
 
 let () =
   let g = Gen.complete ~n:4 ~cap:2 in
-  let config = { Nab.default_config with l_bits = 256; m = 8; f = 1 } in
+  let config = Nab.config ~l_bits:256 ~m:8 ~f:1 () in
   let rng = Random.State.make [| 99 |] in
   let input_tbl = Hashtbl.create 16 in
   let inputs k =
@@ -19,7 +19,7 @@ let () =
   in
   List.iter
     (fun (name, adv) ->
-      let report = Nab.run ~g ~config ~adversary:adv ~inputs ~q:6 in
+      let report = Nab.run ~g ~config ~adversary:adv ~inputs ~q:6 () in
       Printf.printf
         "%-18s agree=%b valid=%b dc=%d disputes=%d thpt=%.3f pip=%.3f faulty=[%s]\n%!"
         name

@@ -54,7 +54,7 @@ let () =
     let l = 64 * (1 + Random.State.int rng 4) in
     let q = 2 + Random.State.int rng 4 in
     let config =
-      { Nab.default_config with f; l_bits = l; m = 8; seed = Random.State.int rng 9999 }
+      Nab.config ~f ~l_bits:l ~m:8 ~seed:(Random.State.int rng 9999) ()
     in
     let irng = Random.State.make [| gseed; trial |] in
     let cache = Hashtbl.create 8 in
@@ -67,7 +67,7 @@ let () =
           v
     in
     (try
-       let report = Nab.run ~g ~config ~adversary ~inputs ~q in
+       let report = Nab.run ~g ~config ~adversary ~inputs ~q () in
        let ok =
          Nab.fault_free_agree report
          && Nab.valid_outputs report ~inputs

@@ -1,0 +1,107 @@
+(* Validate a JSONL trace produced by Nab_obs.jsonl_sink against the schema
+   documented in lib/obs/nab_obs.mli:
+     - every line parses as a JSON object with keys seq/t/scope/ev/name
+       (attrs optional), no extras;
+     - seq counts 0,1,2,... with no gaps;
+     - ev is "begin" | "end" | "point" and begin/end balance per
+       (scope, name), never going negative;
+     - t is a finite number, attrs (when present) an object of scalars.
+   Exit 0 and a one-line summary on success; exit 1 with "line N: why" on
+   the first violation. *)
+
+module J = Nab_obs.Json
+
+let fail line msg =
+  Printf.eprintf "trace_lint: line %d: %s\n" line msg;
+  exit 1
+
+let check_attrs line = function
+  | None -> ()
+  | Some (J.Obj fields) ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | J.Int _ | J.Float _ | J.Str _ | J.Bool _ -> ()
+          | J.Null | J.List _ | J.Obj _ ->
+              fail line (Printf.sprintf "attrs.%s: not a scalar" k))
+        fields
+  | Some _ -> fail line "attrs: not an object"
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: trace_lint FILE.jsonl";
+        exit 2
+  in
+  let ic = open_in path in
+  let events = ref 0 in
+  let open_spans = Hashtbl.create 16 in
+  (* (scope, name) -> depth *)
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       let n = !line_no in
+       if String.trim line <> "" then begin
+         let j =
+           match J.of_string line with
+           | Ok j -> j
+           | Error e -> fail n ("parse error: " ^ e)
+         in
+         (match j with
+         | J.Obj fields ->
+             List.iter
+               (fun (k, _) ->
+                 if not (List.mem k [ "seq"; "t"; "scope"; "ev"; "name"; "attrs" ])
+                 then fail n (Printf.sprintf "unknown key %S" k))
+               fields
+         | _ -> fail n "not a JSON object");
+         let get name = J.member name j in
+         let seq =
+           match Option.bind (get "seq") J.get_int with
+           | Some s -> s
+           | None -> fail n "seq: missing or not an int"
+         in
+         if seq <> !events then
+           fail n (Printf.sprintf "seq %d: expected %d (gap or reorder)" seq !events);
+         (match Option.bind (get "t") J.get_float with
+         | Some t when Float.is_finite t -> ()
+         | Some _ -> fail n "t: not finite"
+         | None -> fail n "t: missing or not a number");
+         let scope =
+           match Option.bind (get "scope") J.get_string with
+           | Some s when s <> "" -> s
+           | Some _ -> fail n "scope: empty"
+           | None -> fail n "scope: missing or not a string"
+         in
+         let name =
+           match Option.bind (get "name") J.get_string with
+           | Some s when s <> "" -> s
+           | Some _ -> fail n "name: empty"
+           | None -> fail n "name: missing or not a string"
+         in
+         check_attrs n (get "attrs");
+         let key = (scope, name) in
+         let depth = Option.value (Hashtbl.find_opt open_spans key) ~default:0 in
+         (match Option.bind (get "ev") J.get_string with
+         | Some "begin" -> Hashtbl.replace open_spans key (depth + 1)
+         | Some "end" ->
+             if depth = 0 then
+               fail n (Printf.sprintf "end of %s/%s without begin" scope name);
+             Hashtbl.replace open_spans key (depth - 1)
+         | Some "point" -> ()
+         | Some other -> fail n (Printf.sprintf "ev: unknown %S" other)
+         | None -> fail n "ev: missing or not a string");
+         incr events
+       end
+     done
+   with End_of_file -> close_in ic);
+  Hashtbl.iter
+    (fun (scope, name) depth ->
+      if depth <> 0 then
+        fail !line_no (Printf.sprintf "unbalanced span %s/%s: %d open" scope name depth))
+    open_spans;
+  Printf.printf "trace_lint: %s ok (%d events)\n" path !events

@@ -11,7 +11,7 @@ open Nab_core
 
 let () =
   let network = Gen.ring_with_chords ~n:7 ~cap:2 ~chord_cap:2 in
-  let config = { Nab.default_config with f = 1; l_bits = 2048; m = 16 } in
+  let config = Nab.config ~f:1 ~l_bits:2048 ~m:16 () in
   let q = 8 in
   let rng = Random.State.make [| 2024 |] in
   let cache = Hashtbl.create 16 in
@@ -24,7 +24,7 @@ let () =
         v
   in
   let baseline =
-    Nab.run ~g:network ~config ~adversary:Adversary.none ~inputs ~q
+    Nab.run ~g:network ~config ~adversary:Adversary.none ~inputs ~q ()
   in
   Printf.printf "gauntlet: 7-node chordal ring, f=1, L=%d, Q=%d\n" config.Nab.l_bits q;
   Printf.printf "fault-free throughput: %.2f bits/time-unit (pipelined)\n\n"
@@ -34,7 +34,7 @@ let () =
   Printf.printf "%s\n" (String.make 84 '-');
   List.iter
     (fun (name, adv) ->
-      let r = Nab.run ~g:network ~config ~adversary:adv ~inputs ~q in
+      let r = Nab.run ~g:network ~config ~adversary:adv ~inputs ~q () in
       let excluded =
         Vset.elements
           (Vset.diff (Digraph.vertex_set network)

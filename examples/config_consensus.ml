@@ -21,7 +21,7 @@ let hash_of_string s =
 
 let () =
   let network = Gen.complete ~n:5 ~cap:2 in
-  let config = { Nab.default_config with f = 1; l_bits = 64; m = 8 } in
+  let config = Nab.config ~f:1 ~l_bits:64 ~m:8 () in
   (* Four servers downloaded firmware 2.1.7; the Byzantine one (node 5)
      proposes something else and also lies inside the protocol. *)
   let good = "firmware-2.1.7" and rogue = "firmware-evil" in

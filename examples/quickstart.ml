@@ -2,16 +2,28 @@
    network with one Byzantine node, using the public NAB API end to end.
 
      dune exec examples/quickstart.exe
+     dune exec examples/quickstart.exe -- --trace t.jsonl   # JSONL trace
+     dune exec examples/quickstart.exe -- --json            # JSON report
 *)
 
 open Nab_graph
 open Nab_core
 
 let () =
+  let args = Array.to_list Sys.argv in
+  let trace =
+    let rec find = function
+      | "--trace" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let json = List.mem "--json" args in
   (* 1. A network: complete graph on 4 nodes, every link 2 bits/time-unit.
         Node 1 is the source; the fault budget is f = 1 (n >= 3f+1). *)
   let network = Gen.complete ~n:4 ~cap:2 in
-  let config = { Nab.default_config with f = 1; l_bits = 8192; m = 16 } in
+  let config = Nab.config ~f:1 ~l_bits:8192 ~m:16 () in
 
   (* 2. What does the theory promise on this network? *)
   let s = Params.stars network ~source:config.Nab.source ~f:config.Nab.f in
@@ -29,8 +41,23 @@ let () =
       config.Nab.l_bits
   in
   let report =
-    Nab.run ~g:network ~config ~adversary:Adversary.ec_liar ~inputs:message ~q:3
+    match trace with
+    | None ->
+        Nab.run ~g:network ~config ~adversary:Adversary.ec_liar ~inputs:message ~q:3 ()
+    | Some path ->
+        (* Observability: a trace context turns the same run into a JSONL
+           span/event log (see doc/API.md, "Observability"). *)
+        let oc = open_out path in
+        let obs = Nab_obs.make [ Nab_obs.jsonl_sink oc ] in
+        let report =
+          Nab.run ~obs ~g:network ~config ~adversary:Adversary.ec_liar
+            ~inputs:message ~q:3 ()
+        in
+        Nab_obs.close obs;
+        close_out oc;
+        report
   in
+  if json then print_endline (Nab_obs.Json.to_string (Report.run_to_json report));
 
   (* 4. Inspect the outcome. *)
   List.iter

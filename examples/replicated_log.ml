@@ -60,7 +60,7 @@ let dump store =
 
 let () =
   let network = Gen.complete ~n:5 ~cap:4 in
-  let config = { Nab.default_config with f = 1; l_bits = 1024; m = 8 } in
+  let config = Nab.config ~f:1 ~l_bits:1024 ~m:8 () in
   let workload =
     [|
       [ Set ("x", 10); Set ("y", 1) ];
@@ -73,7 +73,7 @@ let () =
   (* Replica 5 is Byzantine: it sends corrupted slices during Phase 1. *)
   let report =
     Nab.run ~g:network ~config ~adversary:Adversary.phase1_corrupt ~inputs
-      ~q:(Array.length workload)
+      ~q:(Array.length workload) ()
   in
   Printf.printf "replicated KV store over NAB (5 replicas, replica 5 Byzantine)\n\n";
   (* Each fault-free replica independently replays the agreed log. *)

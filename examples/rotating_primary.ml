@@ -24,7 +24,7 @@ let () =
   Printf.printf "%s\n" (String.make 78 '-');
   List.iteri
     (fun i primary ->
-      let config = { Nab.default_config with f = 1; source = primary; l_bits = l } in
+      let config = Nab.config ~f:1 ~source:primary ~l_bits:l () in
       let s = Params.stars network ~source:primary ~f:1 in
       let rng = Random.State.make [| 50 + i |] in
       let tbl = Hashtbl.create 8 in
@@ -43,7 +43,7 @@ let () =
           { Adversary.source_equivocate with pick_faulty = (fun ~g:_ ~source ~f:_ -> Vset.singleton source) }
         else { Adversary.ec_liar with pick_faulty = (fun ~g:_ ~source:_ ~f:_ -> Vset.singleton 5) }
       in
-      let r = Nab.run ~g:network ~config ~adversary ~inputs ~q:4 in
+      let r = Nab.run ~g:network ~config ~adversary ~inputs ~q:4 () in
       Printf.printf "%-7d %-8d %-7d %-11.2f %-10.2f %-6b %-6b %-4d %s\n" (i + 1) primary
         s.Params.gamma_star s.Params.throughput_lb r.Nab.throughput_pipelined
         (Nab.fault_free_agree r)

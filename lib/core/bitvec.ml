@@ -160,4 +160,21 @@ let of_string s = init (8 * String.length s) (fun i -> Char.code s.[i / 8] land 
 let to_hex t =
   String.concat "" (List.init (Bytes.length t.data) (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get t.data i))))
 
+let of_hex ~bits s =
+  if bits < 0 then invalid_arg "Bitvec.of_hex: negative length";
+  let n = bytes_needed bits in
+  if String.length s <> 2 * n then invalid_arg "Bitvec.of_hex: digit count does not match bits";
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bitvec.of_hex: not a hex digit"
+  in
+  let data = Bytes.init n (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1])) in
+  let rem = bits mod 8 in
+  if rem > 0 && n > 0 && Char.code (Bytes.get data (n - 1)) land (0xff lsr rem) <> 0 then
+    invalid_arg "Bitvec.of_hex: padding bits set";
+  { len = bits; data }
+
 let pp fmt t = Format.fprintf fmt "<%d bits: %s>" t.len (to_hex t)

@@ -51,4 +51,12 @@ val of_string : string -> t
 (** Each byte contributes 8 bits. *)
 
 val to_hex : t -> string
+(** Lowercase hex of the packed big-endian bytes, two digits per byte
+    (padding bits included, always zero). *)
+
+val of_hex : bits:int -> string -> t
+(** Inverse of {!to_hex} given the bit length: [of_hex ~bits (to_hex v)] is
+    [v] when [bits = length v]. Raises [Invalid_argument] on a digit count
+    that does not match [bits], a non-hex digit, or set padding bits. *)
+
 val pp : Format.formatter -> t -> unit

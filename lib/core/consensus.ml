@@ -39,7 +39,7 @@ let run ~g ~config ~adversary ~inputs =
     List.map
       (fun s ->
         let cfg = { config with Nab.source = s } in
-        (s, Nab.run ~g ~config:cfg ~adversary:pinned ~inputs:(fun _ -> inputs s) ~q:1))
+        (s, Nab.run ~g ~config:cfg ~adversary:pinned ~inputs:(fun _ -> inputs s) ~q:1 ()))
       sources
   in
   let vector_of v =

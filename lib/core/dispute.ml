@@ -210,6 +210,12 @@ let parse_input ~value_bits payload =
 let run ~sim ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
     ?input_adv ?eig_adv () =
   let verts = Digraph.vertices ctx.gk in
+  let obs = Sim.obs sim in
+  if Nab_obs.enabled obs then
+    Nab_obs.span_begin obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+      ~attrs:
+        [ ("nodes", Nab_obs.I (List.length verts)); ("f", Nab_obs.I ctx.f) ]
+      "dispute-control";
   let my_claims v =
     let honest = honest_claims sim ~sim_phases:[ "phase1"; "equality-check" ] ~me:v in
     if Vset.mem v faulty then claims_adv ~me:v honest else honest
@@ -234,14 +240,31 @@ let run ~sim ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
     Eig.broadcast_all ~sim ~nodes:verts ~phase:"dispute-control" ~routing ~f:ctx.f
       ~inputs ~default:(Wire.Claims []) ~faulty ?adversary:eig_adv ()
   in
-  List.map
-    (fun me ->
-      let agreed v =
-        match Hashtbl.find_opt decisions (v, me) with
-        | Some p -> p
-        | None -> Wire.Claims []
-      in
-      let claims v = parse_claims (agreed v) in
-      let agreed_input = parse_input ~value_bits:ctx.value_bits (agreed ctx.source) in
-      (me, analyse ~ctx ~claims ~agreed_input))
-    verts
+  let verdicts =
+    List.map
+      (fun me ->
+        let agreed v =
+          match Hashtbl.find_opt decisions (v, me) with
+          | Some p -> p
+          | None -> Wire.Claims []
+        in
+        let claims v = parse_claims (agreed v) in
+        let agreed_input = parse_input ~value_bits:ctx.value_bits (agreed ctx.source) in
+        (me, analyse ~ctx ~claims ~agreed_input))
+      verts
+  in
+  if Nab_obs.enabled obs then begin
+    let disputes, faulty_found =
+      match verdicts with
+      | (_, v) :: _ -> (List.length v.new_disputes, Vset.cardinal v.provably_faulty)
+      | [] -> (0, 0)
+    in
+    Nab_obs.span_end obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+      ~attrs:
+        [
+          ("new_disputes", Nab_obs.I disputes);
+          ("provably_faulty", Nab_obs.I faulty_found);
+        ]
+      "dispute-control"
+  end;
+  verdicts

@@ -27,6 +27,16 @@ let expected_flag coding ~graph ~me ~x ~received =
 let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
   let g = match graph with Some g -> g | None -> Sim.graph sim in
   let verts = Digraph.vertices g in
+  let obs = Sim.obs sim in
+  if Nab_obs.enabled obs then
+    Nab_obs.span_begin obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+      ~attrs:
+        [
+          ("phase", Nab_obs.S phase);
+          ("rho", Nab_obs.I (Coding.rho coding));
+          ("m", Nab_obs.I (Nab_field.Gf2p.degree (Coding.field coding)));
+        ]
+      "equality-check";
   let outbox v =
     List.map
       (fun (dst, _) ->
@@ -37,13 +47,23 @@ let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
       (Digraph.out_edges g v)
   in
   let inbox = Sim.round sim ~phase outbox in
-  List.map
-    (fun v ->
-      let received ~src =
-        List.find_map
-          (fun (s, (pkt : Packet.t)) ->
-            if s = src && pkt.proto = proto then Some pkt.payload else None)
-          (inbox v)
-      in
-      (v, expected_flag coding ~graph:g ~me:v ~x:(values v) ~received))
-    verts
+  let flags =
+    List.map
+      (fun v ->
+        let received ~src =
+          List.find_map
+            (fun (s, (pkt : Packet.t)) ->
+              if s = src && pkt.proto = proto then Some pkt.payload else None)
+            (inbox v)
+        in
+        (v, expected_flag coding ~graph:g ~me:v ~x:(values v) ~received))
+      verts
+  in
+  if Nab_obs.enabled obs then begin
+    let mismatches = List.length (List.filter snd flags) in
+    Nab_obs.add obs "ec.mismatch_flags" mismatches;
+    Nab_obs.span_end obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+      ~attrs:[ ("mismatch_flags", Nab_obs.I mismatches) ]
+      "equality-check"
+  end;
+  flags

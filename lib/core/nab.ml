@@ -14,6 +14,26 @@ type config = {
 let default_config =
   { f = 1; source = 1; l_bits = 1024; m = 16; seed = 7; flag_backend = `Eig }
 
+(* Field validation happens at construction time; the graph-dependent
+   requirements (source present, n >= 3f+1) wait for create_session. *)
+let validate_config c =
+  if c.f < 0 then invalid_arg "Nab.config: f must be >= 0";
+  if c.l_bits < 1 then invalid_arg "Nab.config: l_bits must be positive";
+  if c.m < 1 || c.m > 61 then invalid_arg "Nab.config: m must be within 1..61";
+  c
+
+let config ?(f = default_config.f) ?(source = default_config.source)
+    ?(l_bits = default_config.l_bits) ?(m = default_config.m)
+    ?(seed = default_config.seed) ?(flag_backend = default_config.flag_backend) () =
+  validate_config { f; source; l_bits; m; seed; flag_backend }
+
+let with_f f c = validate_config { c with f }
+let with_source source c = validate_config { c with source }
+let with_l_bits l_bits c = validate_config { c with l_bits }
+let with_m m c = validate_config { c with m }
+let with_seed seed c = validate_config { c with seed }
+let with_flag_backend flag_backend c = validate_config { c with flag_backend }
+
 type instance_report = {
   k : int;
   value_bits : int;
@@ -92,6 +112,7 @@ type session = {
   ses_adversary : Adversary.t;
   ses_faulty : Vset.t;
   ses_total_n : int;
+  ses_obs : Nab_obs.ctx;
   ses_plans : ((int * int * int) list * int list, graph_plan) Hashtbl.t;
   mutable ses_gk : Digraph.t;
   mutable ses_disputes : Params.dispute list;
@@ -100,9 +121,8 @@ type session = {
   mutable ses_instances : instance_report list; (* reversed *)
 }
 
-let create_session ~g ~config ~adversary =
-  let { f; source; l_bits; _ } = config in
-  if l_bits < 1 then invalid_arg "Nab.create_session: l_bits must be positive";
+let create_session ?(obs = Nab_obs.null) ~g ~config ~adversary () =
+  let { f; source; _ } = validate_config config in
   if not (Digraph.mem_vertex g source) then invalid_arg "Nab.create_session: source absent";
   if not (Connectivity.meets_requirement g ~f) then
     invalid_arg "Nab.run: need n >= 3f+1 and connectivity >= 2f+1";
@@ -115,6 +135,7 @@ let create_session ~g ~config ~adversary =
     ses_adversary = adversary;
     ses_faulty = faulty;
     ses_total_n = Digraph.num_vertices g;
+    ses_obs = obs;
     ses_plans = Hashtbl.create 4;
     ses_gk = g;
     ses_disputes = [];
@@ -129,13 +150,30 @@ let session_dc_count ses = ses.ses_dc_count
 let session_faulty ses = ses.ses_faulty
 let session_instances ses = List.rev ses.ses_instances
 
+(* Per-instance roll-up into the instrumentation context: cumulative bits
+   per link and rounds/bits per phase, from the instance's simulator. *)
+let flush_sim_obs obs sim =
+  if Nab_obs.enabled obs then begin
+    List.iter
+      (fun ((s, d), b) ->
+        Nab_obs.add obs (Printf.sprintf "sim.link_bits.%d->%d" s d) b)
+      (Sim.link_bits sim);
+    List.iter
+      (fun (ps : Sim.phase_stat) ->
+        Nab_obs.add obs ("sim.phase." ^ ps.Sim.phase ^ ".rounds") ps.Sim.rounds;
+        Nab_obs.add obs ("sim.phase." ^ ps.Sim.phase ^ ".bits") ps.Sim.bits_total)
+      (Sim.timing sim).Sim.phases
+  end
+
 let session_broadcast ses input0 =
   let { f; source; l_bits; m; seed; flag_backend } = ses.ses_config in
   let config = ses.ses_config in
   let adversary = ses.ses_adversary in
   let faulty = ses.ses_faulty in
   let total_n = ses.ses_total_n in
+  let obs = ses.ses_obs in
   let k = ses.ses_next_k in
+  Nab_obs.span_begin obs ~scope:"nab" ~attrs:[ ("k", Nab_obs.I k) ] "instance";
     let input = Bitvec.pad_to input0 l_bits in
     if Bitvec.length input <> l_bits then invalid_arg "Nab: input longer than L";
     let report =
@@ -165,6 +203,8 @@ let session_broadcast ses input0 =
           | None ->
               let p = make_plan ~config ~total_n ~disputes:ses.ses_disputes ses.ses_gk in
               Hashtbl.add ses.ses_plans (graph_key ses.ses_gk) p;
+              Nab_obs.add obs "nab.coding_attempts" p.plan_coding_attempts;
+              Nab_obs.add obs "nab.plans_built" 1;
               p
         in
         let excluded = total_n - Digraph.num_vertices ses.ses_gk in
@@ -189,7 +229,7 @@ let session_broadcast ses input0 =
            graph G (disputed links still physically exist; reliability comes
            from node-disjoint-path majority, not from trusting them).
            Phases 1 and 2.1 structurally restrict themselves to G_k. *)
-        let sim = Sim.create ses.ses_g ~bits:Packet.bits in
+        let sim = Sim.create ~obs ses.ses_g ~bits:Packet.bits in
         (* ---- Phase 1: unreliable broadcast over the tree packing ---- *)
         let received =
           Phase1.run ~sim ~phase:"phase1" ~trees:plan.plan_trees ~source ~value ~faulty
@@ -204,6 +244,8 @@ let session_broadcast ses input0 =
         in
         if reduced then begin
           (* All faulty nodes are excluded: Phase 1 alone is reliable. *)
+          flush_sim_obs obs sim;
+          let tm = Sim.timing sim in
           {
             k;
             value_bits;
@@ -217,9 +259,9 @@ let session_broadcast ses input0 =
             dc_run = false;
             reduced_to_phase1 = true;
             coding_attempts = plan.plan_coding_attempts;
-            wall_time = Sim.elapsed sim;
-            pipelined_time = Sim.pipelined_elapsed sim;
-            phase_stats = Sim.phase_stats sim;
+            wall_time = tm.Sim.wall;
+            pipelined_time = tm.Sim.pipelined;
+            phase_stats = tm.Sim.phases;
             utilization = Sim.utilization sim;
             new_disputes = [];
           }
@@ -276,6 +318,8 @@ let session_broadcast ses input0 =
           let flags = List.map (fun v -> (v, agreed_flag v)) (Digraph.vertices ses.ses_gk) in
           let mismatch = List.exists snd flags in
           if not mismatch then begin
+            flush_sim_obs obs sim;
+            let tm = Sim.timing sim in
             {
               k;
               value_bits;
@@ -289,9 +333,9 @@ let session_broadcast ses input0 =
               dc_run = false;
               reduced_to_phase1 = false;
               coding_attempts = plan.plan_coding_attempts;
-              wall_time = Sim.elapsed sim;
-              pipelined_time = Sim.pipelined_elapsed sim;
-              phase_stats = Sim.phase_stats sim;
+              wall_time = tm.Sim.wall;
+              pipelined_time = tm.Sim.pipelined;
+              phase_stats = tm.Sim.phases;
               utilization = Sim.utilization sim;
               new_disputes = [];
             }
@@ -324,6 +368,20 @@ let session_broadcast ses input0 =
                 vantage_verdict.Dispute.new_disputes
             in
             ses.ses_disputes <- List.sort compare (new_disputes @ ses.ses_disputes);
+            Nab_obs.add obs "nab.dc_runs" 1;
+            Nab_obs.add obs "nab.disputes" (List.length new_disputes);
+            if Nab_obs.enabled obs then
+              Nab_obs.point obs ~scope:"nab" ~t:(Sim.timing sim).Sim.wall
+                ~attrs:
+                  [
+                    ("k", Nab_obs.I k);
+                    ("new_disputes", Nab_obs.I (List.length new_disputes));
+                    ( "provably_faulty",
+                      Nab_obs.I (Vset.cardinal vantage_verdict.Dispute.provably_faulty) );
+                  ]
+                "dispute-control";
+            flush_sim_obs obs sim;
+            let tm = Sim.timing sim in
             let report =
               {
                 k;
@@ -339,9 +397,9 @@ let session_broadcast ses input0 =
                 dc_run = true;
                 reduced_to_phase1 = false;
                 coding_attempts = plan.plan_coding_attempts;
-                wall_time = Sim.elapsed sim;
-                pipelined_time = Sim.pipelined_elapsed sim;
-                phase_stats = Sim.phase_stats sim;
+                wall_time = tm.Sim.wall;
+                pipelined_time = tm.Sim.pipelined;
+                phase_stats = tm.Sim.phases;
                 utilization = Sim.utilization sim;
                 new_disputes;
               }
@@ -355,6 +413,21 @@ let session_broadcast ses input0 =
     in
   ses.ses_next_k <- k + 1;
   ses.ses_instances <- report :: ses.ses_instances;
+  Nab_obs.add obs "nab.instances" 1;
+  if Nab_obs.enabled obs then
+    Nab_obs.span_end obs ~scope:"nab" ~t:report.wall_time
+      ~attrs:
+        [
+          ("k", Nab_obs.I k);
+          ("gamma_k", Nab_obs.I report.gamma_k);
+          ("rho_k", Nab_obs.I report.rho_k);
+          ("value_bits", Nab_obs.I report.value_bits);
+          ("mismatch", Nab_obs.B report.mismatch);
+          ("dc_run", Nab_obs.B report.dc_run);
+          ("wall", Nab_obs.F report.wall_time);
+          ("pipelined", Nab_obs.F report.pipelined_time);
+        ]
+      "instance";
   report
 
 let session_report ses =
@@ -380,8 +453,8 @@ let session_report ses =
       (if total_pipelined > 0.0 then bits_total /. total_pipelined else infinity);
   }
 
-let run ~g ~config ~adversary ~inputs ~q =
-  let ses = create_session ~g ~config ~adversary in
+let run ?obs ~g ~config ~adversary ~inputs ~q () =
+  let ses = create_session ?obs ~g ~config ~adversary () in
   for k = 1 to q do
     ignore (session_broadcast ses (inputs k))
   done;

@@ -18,9 +18,42 @@ type config = {
   seed : int;
   flag_backend : [ `Eig | `Phase_king ];  (** step-2.2 Broadcast_Default backend *)
 }
+(** The record type stays exposed for pattern-matching and field access;
+    construct values with {!config} (or the {!with_f} family), which
+    validates the fields up front instead of deep inside {!run}. *)
+
+val config :
+  ?f:int ->
+  ?source:int ->
+  ?l_bits:int ->
+  ?m:int ->
+  ?seed:int ->
+  ?flag_backend:[ `Eig | `Phase_king ] ->
+  unit ->
+  config
+(** The smart constructor: every omitted field takes its {!default_config}
+    value. Raises [Invalid_argument] when [f < 0], [l_bits < 1], or [m] is
+    outside 1..61 (the GF(2^m) degrees {!Nab_field.Gf2p} supports) — the
+    graph-dependent requirements (source present, n >= 3f+1, connectivity)
+    are still checked by {!create_session}, which is where the graph is
+    first known. *)
 
 val default_config : config
 (** f = 1, source = 1, L = 1024, m = 16, seed = 7, EIG flags. *)
+
+val with_f : int -> config -> config
+(** Functional updaters with the same validation as {!config}. *)
+
+val with_source : int -> config -> config
+val with_l_bits : int -> config -> config
+val with_m : int -> config -> config
+val with_seed : int -> config -> config
+val with_flag_backend : [ `Eig | `Phase_king ] -> config -> config
+
+val validate_config : config -> config
+(** [validate_config c] is [c] if it satisfies the {!config} constraints,
+    and raises the same [Invalid_argument] otherwise — the check applied to
+    every configuration entering {!create_session}, however it was built. *)
 
 type instance_report = {
   k : int;
@@ -62,9 +95,25 @@ type session
     {!run} is the batch convenience wrapper. *)
 
 val create_session :
-  g:Digraph.t -> config:config -> adversary:Adversary.t -> session
-(** Validates the network (n >= 3f+1, connectivity >= 2f+1, source present)
-    and fixes the corrupted node set for the whole session. *)
+  ?obs:Nab_obs.ctx ->
+  g:Digraph.t ->
+  config:config ->
+  adversary:Adversary.t ->
+  unit ->
+  session
+(** Validates the configuration ({!validate_config}) and the network
+    (n >= 3f+1, connectivity >= 2f+1, source present) and fixes the
+    corrupted node set for the whole session.
+
+    [obs] (default {!Nab_obs.null}) observes every instance broadcast on
+    the session: each instance's simulator reports its rounds and sampled
+    messages to it, the protocol layers open spans on it, and the driver
+    emits per-instance ["instance"] spans (scope ["nab"]), a
+    ["dispute-control"] point event whenever Phase 3 fires, and counters —
+    coding-matrix generation attempts, per-phase rounds/bits, per-link bits
+    ([sim.link_bits.SRC->DST]), dispute-control runs. All quantities are
+    logical (simulated time, bit counts), so fixed-seed artifacts are
+    byte-identical at any [NAB_JOBS] value. *)
 
 val session_broadcast : session -> Bitvec.t -> instance_report
 (** Run the next NAB instance on the current G_k with the given L-bit input
@@ -83,11 +132,13 @@ val session_report : session -> run_report
 (** Aggregate everything broadcast so far. *)
 
 val run :
+  ?obs:Nab_obs.ctx ->
   g:Digraph.t ->
   config:config ->
   adversary:Adversary.t ->
   inputs:(int -> Bitvec.t) ->
   q:int ->
+  unit ->
   run_report
 (** Execute [q] instances: [create_session], then [session_broadcast] on
     [inputs k] for k = 1..q (1-based), then [session_report]. Raises

@@ -33,11 +33,28 @@ let assemble ~slice_sizes per_tree =
        (fun t p -> payload_slice ~slice_bits:slice_sizes.(t) p)
        (Array.to_list per_tree))
 
+(* Instrumentation: one span per Phase-1 execution, timestamped in
+   simulated time, tagged with the tree count and payload width. *)
+let span sim ~phase ~trees ~bits which f =
+  let obs = Sim.obs sim in
+  if not (Nab_obs.enabled obs) then f ()
+  else begin
+    let now () = (Sim.timing sim).Sim.wall in
+    let attrs =
+      [ ("phase", Nab_obs.S phase); ("trees", Nab_obs.I trees); ("bits", Nab_obs.I bits) ]
+    in
+    Nab_obs.span_begin obs ~scope:"proto" ~t:(now ()) ~attrs which;
+    let r = f () in
+    Nab_obs.span_end obs ~scope:"proto" ~t:(now ()) which;
+    r
+  end
+
 let run ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest) () =
   let g = Sim.graph sim in
   let verts = Digraph.vertices g in
   let n_trees = List.length trees in
   if n_trees = 0 then invalid_arg "Phase1.run: no trees";
+  span sim ~phase ~trees:n_trees ~bits:(Bitvec.length value) "phase1" @@ fun () ->
   let sizes = slice_sizes ~value_bits:(Bitvec.length value) ~trees:n_trees in
   let slices = Array.of_list (Bitvec.split_balanced value ~parts:n_trees) in
   let trees = Array.of_list trees in
@@ -110,6 +127,8 @@ let run_flood ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
   let verts = Digraph.vertices g in
   let n_trees = List.length trees in
   if n_trees = 0 then invalid_arg "Phase1.run_flood: no trees";
+  span sim ~phase ~trees:n_trees ~bits:(Bitvec.length value) "phase1-flood"
+  @@ fun () ->
   let sizes = slice_sizes ~value_bits:(Bitvec.length value) ~trees:n_trees in
   let slices = Array.of_list (Bitvec.split_balanced value ~parts:n_trees) in
   let trees = Array.of_list trees in

@@ -127,7 +127,7 @@ let run ~g ~config ~inputs ~q =
       if not (List.for_all (fun v -> x_of v = expected) verts) then all_ok := false
     end
   done;
-  let completion = Sim.elapsed sim in
+  let completion = (Sim.timing sim).Sim.wall in
   let round_core =
     float_of_int value_bits
     *. ((1.0 /. float_of_int gamma) +. (1.0 /. float_of_int rho))

@@ -21,7 +21,10 @@ let pp_phase_breakdown fmt (i : Nab.instance_report) =
         s.Sim.wall s.Sim.bottleneck s.Sim.bits_total)
     i.Nab.phase_stats;
   (match i.Nab.utilization with
-  | [] -> ()
+  | [] ->
+      (* No link ever carried a bit — e.g. a single-vertex graph or an
+         all-analytic instance; say so rather than rendering nothing. *)
+      Format.fprintf fmt "no link traffic@,"
   | links ->
       let busiest =
         List.sort (fun (_, a) (_, b) -> compare b a) links
@@ -54,3 +57,252 @@ let summary_line (r : Nab.run_report) =
     r.Nab.dc_count
     (List.length r.Nab.disputes)
     r.Nab.throughput_wall r.Nab.throughput_pipelined
+
+(* ---------- JSON encoding ---------- *)
+
+module J = Nab_obs.Json
+
+let dispute_json (a, b) = J.List [ J.Int a; J.Int b ]
+
+let backend_json = function `Eig -> J.Str "eig" | `Phase_king -> J.Str "phase_king"
+
+let config_json (c : Nab.config) =
+  J.Obj
+    [
+      ("f", J.Int c.Nab.f);
+      ("source", J.Int c.Nab.source);
+      ("l_bits", J.Int c.Nab.l_bits);
+      ("m", J.Int c.Nab.m);
+      ("seed", J.Int c.Nab.seed);
+      ("flag_backend", backend_json c.Nab.flag_backend);
+    ]
+
+let graph_json g =
+  J.Obj
+    [
+      ("vertices", J.List (List.map (fun v -> J.Int v) (Nab_graph.Digraph.vertices g)));
+      ( "edges",
+        J.List
+          (List.map
+             (fun (s, d, c) -> J.List [ J.Int s; J.Int d; J.Int c ])
+             (Nab_graph.Digraph.edges g)) );
+    ]
+
+let to_json (i : Nab.instance_report) =
+  J.Obj
+    [
+      ("k", J.Int i.Nab.k);
+      ("value_bits", J.Int i.Nab.value_bits);
+      ("gamma_k", J.Int i.Nab.gamma_k);
+      ("rho_k", J.Int i.Nab.rho_k);
+      ( "decisions",
+        J.List
+          (List.map
+             (fun (v, bv) ->
+               J.Obj
+                 [
+                   ("node", J.Int v);
+                   ("bits", J.Int (Bitvec.length bv));
+                   ("hex", J.Str (Bitvec.to_hex bv));
+                 ])
+             i.Nab.decisions) );
+      ("mismatch", J.Bool i.Nab.mismatch);
+      ("dc_run", J.Bool i.Nab.dc_run);
+      ("reduced_to_phase1", J.Bool i.Nab.reduced_to_phase1);
+      ("coding_attempts", J.Int i.Nab.coding_attempts);
+      ("wall_time", J.float i.Nab.wall_time);
+      ("pipelined_time", J.float i.Nab.pipelined_time);
+      ( "phase_stats",
+        J.List
+          (List.map
+             (fun (s : Sim.phase_stat) ->
+               J.Obj
+                 [
+                   ("phase", J.Str s.Sim.phase);
+                   ("rounds", J.Int s.Sim.rounds);
+                   ("wall", J.float s.Sim.wall);
+                   ("bottleneck", J.float s.Sim.bottleneck);
+                   ("bits_total", J.Int s.Sim.bits_total);
+                   ("extra", J.float s.Sim.extra);
+                 ])
+             i.Nab.phase_stats) );
+      ( "utilization",
+        J.List
+          (List.map
+             (fun ((s, d), u) ->
+               J.Obj [ ("src", J.Int s); ("dst", J.Int d); ("u", J.float u) ])
+             i.Nab.utilization) );
+      ("new_disputes", J.List (List.map dispute_json i.Nab.new_disputes));
+    ]
+
+let run_to_json (r : Nab.run_report) =
+  J.Obj
+    [
+      ("config", config_json r.Nab.config);
+      ("adversary", J.Str r.Nab.adversary_name);
+      ( "faulty",
+        J.List (List.map (fun v -> J.Int v) (Nab_graph.Vset.elements r.Nab.faulty)) );
+      ("instances", J.List (List.map to_json r.Nab.instances));
+      ("dc_count", J.Int r.Nab.dc_count);
+      ("disputes", J.List (List.map dispute_json r.Nab.disputes));
+      ("final_graph", graph_json r.Nab.final_graph);
+      ("total_wall", J.float r.Nab.total_wall);
+      ("total_pipelined", J.float r.Nab.total_pipelined);
+      ("throughput_wall", J.float r.Nab.throughput_wall);
+      ("throughput_pipelined", J.float r.Nab.throughput_pipelined);
+    ]
+
+(* ---------- strict decoding ---------- *)
+
+exception Decode of string
+
+let fail path what = raise (Decode (Printf.sprintf "%s: expected %s" path what))
+
+let field path name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> raise (Decode (Printf.sprintf "%s.%s: missing" path name))
+
+let int_f path name j =
+  match J.get_int (field path name j) with
+  | Some i -> i
+  | None -> fail (path ^ "." ^ name) "int"
+
+let float_f path name j =
+  match J.get_float (field path name j) with
+  | Some f -> f
+  | None -> fail (path ^ "." ^ name) "number"
+
+let str_f path name j =
+  match J.get_string (field path name j) with
+  | Some s -> s
+  | None -> fail (path ^ "." ^ name) "string"
+
+let bool_f path name j =
+  match J.get_bool (field path name j) with
+  | Some b -> b
+  | None -> fail (path ^ "." ^ name) "bool"
+
+let list_f path name j =
+  match J.get_list (field path name j) with
+  | Some l -> l
+  | None -> fail (path ^ "." ^ name) "array"
+
+let decode_dispute path j =
+  match J.get_list j with
+  | Some [ a; b ] -> (
+      match (J.get_int a, J.get_int b) with
+      | Some a, Some b -> (a, b)
+      | _ -> fail path "pair of ints")
+  | Some _ | None -> fail path "pair of ints"
+
+let decode_config path j =
+  let backend =
+    match str_f path "flag_backend" j with
+    | "eig" -> `Eig
+    | "phase_king" -> `Phase_king
+    | _ -> fail (path ^ ".flag_backend") {|"eig" or "phase_king"|}
+  in
+  {
+    Nab.f = int_f path "f" j;
+    source = int_f path "source" j;
+    l_bits = int_f path "l_bits" j;
+    m = int_f path "m" j;
+    seed = int_f path "seed" j;
+    flag_backend = backend;
+  }
+
+let decode_graph path j =
+  let vertices =
+    List.map
+      (fun v -> match J.get_int v with Some v -> v | None -> fail path "vertex int")
+      (list_f path "vertices" j)
+  in
+  let edges =
+    List.map
+      (fun e ->
+        match J.get_list e with
+        | Some [ s; d; c ] -> (
+            match (J.get_int s, J.get_int d, J.get_int c) with
+            | Some s, Some d, Some c -> (s, d, c)
+            | _ -> fail path "edge triple")
+        | Some _ | None -> fail path "edge triple")
+      (list_f path "edges" j)
+  in
+  Nab_graph.Digraph.of_edges ~vertices edges
+
+let decode_instance path j =
+  {
+    Nab.k = int_f path "k" j;
+    value_bits = int_f path "value_bits" j;
+    gamma_k = int_f path "gamma_k" j;
+    rho_k = int_f path "rho_k" j;
+    decisions =
+      List.mapi
+        (fun n d ->
+          let p = Printf.sprintf "%s.decisions[%d]" path n in
+          let bits = int_f p "bits" d in
+          ( int_f p "node" d,
+            try Bitvec.of_hex ~bits (str_f p "hex" d)
+            with Invalid_argument m -> raise (Decode (p ^ ": " ^ m)) ))
+        (list_f path "decisions" j);
+    mismatch = bool_f path "mismatch" j;
+    dc_run = bool_f path "dc_run" j;
+    reduced_to_phase1 = bool_f path "reduced_to_phase1" j;
+    coding_attempts = int_f path "coding_attempts" j;
+    wall_time = float_f path "wall_time" j;
+    pipelined_time = float_f path "pipelined_time" j;
+    phase_stats =
+      List.mapi
+        (fun n s ->
+          let p = Printf.sprintf "%s.phase_stats[%d]" path n in
+          {
+            Sim.phase = str_f p "phase" s;
+            rounds = int_f p "rounds" s;
+            wall = float_f p "wall" s;
+            bottleneck = float_f p "bottleneck" s;
+            bits_total = int_f p "bits_total" s;
+            extra = float_f p "extra" s;
+          })
+        (list_f path "phase_stats" j);
+    utilization =
+      List.mapi
+        (fun n u ->
+          let p = Printf.sprintf "%s.utilization[%d]" path n in
+          ((int_f p "src" u, int_f p "dst" u), float_f p "u" u))
+        (list_f path "utilization" j);
+    new_disputes =
+      List.mapi
+        (fun n d -> decode_dispute (Printf.sprintf "%s.new_disputes[%d]" path n) d)
+        (list_f path "new_disputes" j);
+  }
+
+let run_of_json j =
+  match
+    {
+      Nab.config = decode_config "config" (field "" "config" j);
+      adversary_name = str_f "" "adversary" j;
+      faulty =
+        Nab_graph.Vset.of_list
+          (List.map
+             (fun v ->
+               match J.get_int v with Some v -> v | None -> fail "faulty" "int")
+             (list_f "" "faulty" j));
+      instances =
+        List.mapi
+          (fun n i -> decode_instance (Printf.sprintf "instances[%d]" n) i)
+          (list_f "" "instances" j);
+      dc_count = int_f "" "dc_count" j;
+      disputes =
+        List.mapi
+          (fun n d -> decode_dispute (Printf.sprintf "disputes[%d]" n) d)
+          (list_f "" "disputes" j);
+      final_graph = decode_graph "final_graph" (field "" "final_graph" j);
+      total_wall = float_f "" "total_wall" j;
+      total_pipelined = float_f "" "total_pipelined" j;
+      throughput_wall = float_f "" "throughput_wall" j;
+      throughput_pipelined = float_f "" "throughput_pipelined" j;
+    }
+  with
+  | r -> Ok r
+  | exception Decode m -> Error m

@@ -13,3 +13,40 @@ val pp_run : Format.formatter -> Nab.run_report -> unit
 
 val summary_line : Nab.run_report -> string
 (** Compact one-liner: adversary, agreement-relevant counters, throughput. *)
+
+(** {1 Machine-readable reports}
+
+    A lossless JSON encoding of {!Nab.run_report} (the CLI's [--json]
+    artifact). Schema, top level:
+    {v
+    {"config":{"f":..,"source":..,"l_bits":..,"m":..,"seed":..,"flag_backend":"eig"|"phase_king"},
+     "adversary":STR,"faulty":[INT..],"instances":[INSTANCE..],
+     "dc_count":INT,"disputes":[[a,b]..],
+     "final_graph":{"vertices":[INT..],"edges":[[src,dst,cap]..]},
+     "total_wall":NUM,"total_pipelined":NUM,
+     "throughput_wall":NUM,"throughput_pipelined":NUM}
+    v}
+    and per instance:
+    {v
+    {"k":INT,"value_bits":INT,"gamma_k":INT,"rho_k":INT,
+     "decisions":[{"node":INT,"bits":INT,"hex":STR}..],
+     "mismatch":BOOL,"dc_run":BOOL,"reduced_to_phase1":BOOL,
+     "coding_attempts":INT,"wall_time":NUM,"pipelined_time":NUM,
+     "phase_stats":[{"phase":STR,"rounds":INT,"wall":NUM,"bottleneck":NUM,
+                     "bits_total":INT,"extra":NUM}..],
+     "utilization":[{"src":INT,"dst":INT,"u":NUM}..],
+     "new_disputes":[[a,b]..]}
+    v}
+    Decisions carry the exact value as {!Bitvec.to_hex} plus its bit length;
+    non-finite throughputs (a zero-time run) encode as the strings ["inf"] /
+    ["nan"] per {!Nab_obs.Json}. *)
+
+val to_json : Nab.instance_report -> Nab_obs.Json.t
+
+val run_to_json : Nab.run_report -> Nab_obs.Json.t
+
+val run_of_json : Nab_obs.Json.t -> (Nab.run_report, string) result
+(** Strict inverse of {!run_to_json}: every field is required and
+    type-checked; [Error] carries the offending path. The round-trip
+    [run_of_json (run_to_json r) = Ok r] is exact (hex decisions, graph,
+    and float bit patterns included) and enforced by [test/test_obs.ml]. *)

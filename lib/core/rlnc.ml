@@ -174,7 +174,7 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
     decoded;
     rounds = !rounds;
     all_decoded = List.for_all (fun (_, d) -> d <> None) decoded;
-    wall_time = Sim.elapsed sim;
+    wall_time = (Sim.timing sim).Sim.wall;
     payload_bits = !payload_bits;
     header_bits = !header_bits;
   }

@@ -23,7 +23,9 @@ type 'm t = {
   g : Digraph.t;
   bits : 'm -> int;
   delays : int * int -> int;
+  obs : Nab_obs.ctx;
   mutable round_no : int;
+  mutable msg_no : int; (* delivered-message counter, for trace sampling *)
   mutable evs : 'm event list; (* reversed *)
   mutable dropped : int;
   link_total : (int * int, int) Hashtbl.t;
@@ -33,12 +35,14 @@ type 'm t = {
       (* due round -> (src, dst, msg): in-flight messages on delayed links *)
 }
 
-let create ?(delays = fun _ -> 0) g ~bits =
+let create ?(delays = fun _ -> 0) ?(obs = Nab_obs.null) g ~bits =
   {
     g;
     bits;
     delays;
+    obs;
     round_no = 0;
+    msg_no = 0;
     evs = [];
     dropped = 0;
     link_total = Hashtbl.create 32;
@@ -48,6 +52,7 @@ let create ?(delays = fun _ -> 0) g ~bits =
   }
 
 let graph t = t.g
+let obs t = t.obs
 
 let phase_acc t name =
   match Hashtbl.find_opt t.phases name with
@@ -58,16 +63,32 @@ let phase_acc t name =
       t.phase_order <- name :: t.phase_order;
       acc
 
+let elapsed_phases t =
+  Hashtbl.fold (fun _ a acc -> acc +. a.p_wall +. a.p_extra) t.phases 0.0
+
 let round t ~phase outbox =
   let acc = phase_acc t phase in
   t.round_no <- t.round_no + 1;
   let round_no = t.round_no in
+  let sample = Nab_obs.sample_messages t.obs in
   let link_bits = Hashtbl.create 16 in
   let inboxes : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
   let into_inbox src dst msg =
     Hashtbl.replace inboxes dst
       ((src, msg) :: (try Hashtbl.find inboxes dst with Not_found -> []));
-    t.evs <- { round_no; ev_phase = phase; src; dst; msg } :: t.evs
+    t.evs <- { round_no; ev_phase = phase; src; dst; msg } :: t.evs;
+    t.msg_no <- t.msg_no + 1;
+    if sample > 0 && t.msg_no mod sample = 0 then
+      Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+        ~attrs:
+          [
+            ("phase", Nab_obs.S phase);
+            ("round", Nab_obs.I round_no);
+            ("src", Nab_obs.I src);
+            ("dst", Nab_obs.I dst);
+            ("bits", Nab_obs.I (t.bits msg));
+          ]
+        "msg"
   in
   let deliver src dst msg =
     if Digraph.mem_edge t.g src dst then begin
@@ -85,7 +106,10 @@ let round t ~phase outbox =
           ((src, dst, msg) :: (try Hashtbl.find t.pending due with Not_found -> []))
       end
     end
-    else t.dropped <- t.dropped + 1
+    else begin
+      t.dropped <- t.dropped + 1;
+      Nab_obs.add t.obs "sim.dropped" 1
+    end
   in
   (* Messages whose propagation delay elapses this round arrive first. *)
   (match Hashtbl.find_opt t.pending round_no with
@@ -108,6 +132,19 @@ let round t ~phase outbox =
   acc.p_wall <- acc.p_wall +. duration;
   acc.p_bottleneck <- Float.max acc.p_bottleneck duration;
   acc.p_bits <- acc.p_bits + bits_this_round;
+  if Nab_obs.enabled t.obs then begin
+    Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+      ~attrs:
+        [
+          ("phase", Nab_obs.S phase);
+          ("round", Nab_obs.I round_no);
+          ("bits", Nab_obs.I bits_this_round);
+          ("duration", Nab_obs.F duration);
+        ]
+      "round";
+    Nab_obs.add t.obs "sim.rounds" 1;
+    Nab_obs.add t.obs "sim.bits" bits_this_round
+  end;
   fun v ->
     (try Hashtbl.find inboxes v with Not_found -> [])
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -157,21 +194,32 @@ let elapsed t =
 let pipelined_elapsed t =
   List.fold_left (fun acc s -> acc +. s.bottleneck +. s.extra) 0.0 (phase_stats t)
 
+type timing = { wall : float; pipelined : float; phases : phase_stat list }
+
+let timing t =
+  { wall = elapsed t; pipelined = pipelined_elapsed t; phases = phase_stats t }
+
 let link_bits t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.link_total [] |> List.sort compare
 
 let dropped t = t.dropped
 
 let utilization t =
+  (* Denominator: total elapsed time including analytic add_cost. A run
+     whose time is entirely analytic (wall = 0) still lists every link that
+     carried bits, at utilisation 0.0 — the empty list is reserved for "no
+     traffic at all". *)
   let wall = elapsed t in
-  if wall <= 0.0 then []
-  else
-    Hashtbl.fold
-      (fun (src, dst) bits acc ->
-        let cap = float_of_int (Digraph.cap t.g src dst) in
-        (((src, dst), float_of_int bits /. (cap *. wall)) :: acc))
-      t.link_total []
-    |> List.sort compare
+  Hashtbl.fold
+    (fun (src, dst) bits acc ->
+      let u =
+        if wall <= 0.0 then 0.0
+        else
+          float_of_int bits /. (float_of_int (Digraph.cap t.g src dst) *. wall)
+      in
+      ((src, dst), u) :: acc)
+    t.link_total []
+  |> List.sort compare
 let events t = List.rev t.evs
 let events_of_phase t phase = List.filter (fun e -> e.ev_phase = phase) (events t)
 let rounds_run t = t.round_no

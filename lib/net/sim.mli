@@ -19,16 +19,30 @@
 type 'm t
 
 val create :
-  ?delays:(int * int -> int) -> Nab_graph.Digraph.t -> bits:('m -> int) -> 'm t
+  ?delays:(int * int -> int) ->
+  ?obs:Nab_obs.ctx ->
+  Nab_graph.Digraph.t ->
+  bits:('m -> int) ->
+  'm t
 (** A fresh simulator on the given network. [bits] gives the wire size of a
     message; it must be positive. [delays (src, dst)] is the propagation
     delay of a link in whole rounds (default 0 everywhere): a message sent
     in round r is delivered by the (r + delay)-th call to {!round}. The
     paper assumes zero delays and notes that relaxing this does not affect
     correctness (footnote 1, Appendix D); the delayed mode lets tests and
-    benchmarks check that claim on the data plane. *)
+    benchmarks check that claim on the data plane.
+
+    [obs] (default {!Nab_obs.null}) receives, in scope ["sim"], one
+    ["round"] point event per executed round (phase, round number, bits,
+    duration) and — when the context was made with [~sample_messages:s] —
+    every s-th delivered message as a ["msg"] event. All timestamps are
+    simulated time, so traces are deterministic. *)
 
 val graph : 'm t -> Nab_graph.Digraph.t
+
+val obs : 'm t -> Nab_obs.ctx
+(** The instrumentation context this simulator reports to; protocol layers
+    running on the simulator emit their own spans through it. *)
 
 val round : 'm t -> phase:string -> (int -> (int * 'm) list) -> int -> (int * 'm) list
 (** [round sim ~phase outbox] delivers one synchronous round: [outbox v] is
@@ -59,15 +73,33 @@ type phase_stat = {
   extra : float; (** analytic cost added via {!add_cost} *)
 }
 
+type timing = {
+  wall : float;
+      (** total wall time: sum over rounds of the round duration, plus all
+          analytic {!add_cost} costs *)
+  pipelined : float;
+      (** sum over phases of (bottleneck + extra): the steady-state
+          per-instance cost under Figure-3 pipelining *)
+  phases : phase_stat list;  (** per-phase breakdown, in first-use order *)
+}
+
+val timing : 'm t -> timing
+(** The one timing accessor: wall clock, pipelined clock and the per-phase
+    breakdown (including each phase's analytic [extra]) in a single
+    consistent snapshot. *)
+
 val elapsed : 'm t -> float
+  [@@deprecated "use Sim.timing: (timing sim).wall"]
 (** Total wall time: sum over rounds of the round duration, plus all
     analytic costs. *)
 
 val pipelined_elapsed : 'm t -> float
+  [@@deprecated "use Sim.timing: (timing sim).pipelined"]
 (** Sum over phases of (bottleneck + extra): the steady-state per-instance
     cost under Figure-3 pipelining. *)
 
 val phase_stats : 'm t -> phase_stat list
+  [@@deprecated "use Sim.timing: (timing sim).phases"]
 (** In first-use order. *)
 
 val add_cost : 'm t -> phase:string -> float -> unit
@@ -82,8 +114,17 @@ val dropped : 'm t -> int
 
 val utilization : 'm t -> ((int * int) * float) list
 (** Per-link utilisation over the whole run: bits carried divided by
-    capacity x wall time — 1.0 means the link was saturated for the entire
-    run. Empty if no time has elapsed. Sorted by link. *)
+    capacity x wall time, where wall time is [(timing t).wall] — the round
+    durations {e plus} analytic {!add_cost} time, so a link that was busy
+    during simulated rounds of a run dominated by analytic phases correctly
+    shows a low utilisation. 1.0 means the link was saturated for the
+    entire run. Sorted by link.
+
+    Every link that carried bits always appears: in the degenerate case
+    where bits were carried but no time has elapsed (possible when a
+    caller's accounting is purely analytic), each such link reports 0.0
+    rather than the whole table being empty. [[]] therefore means "no link
+    carried any traffic". *)
 
 type 'm event = { round_no : int; ev_phase : string; src : int; dst : int; msg : 'm }
 

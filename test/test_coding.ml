@@ -493,7 +493,7 @@ let test_ec_no_mismatch_when_equal () =
   in
   List.iter (fun (v, f) -> Alcotest.(check bool) (Printf.sprintf "node %d" v) false f) flags;
   (* Timing: each link carries z_e syms * 8 bits / cap z_e -> 8 = L/rho. *)
-  Alcotest.(check (float 1e-9)) "duration L/rho" 8.0 (Sim.elapsed sim)
+  Alcotest.(check (float 1e-9)) "duration L/rho" 8.0 ((Sim.timing sim).Sim.wall)
 
 let test_ec_detects_differing_values () =
   let c, _ = Coding.generate_correct k4 ~omega:omega4 ~rho:rho4 ~m:8 ~seed:1 () in
@@ -536,7 +536,7 @@ let test_ec_duration_exact =
           ~faulty:Vset.empty ()
       in
       let l = stripes * rho * m in
-      Float.abs (Sim.elapsed sim -. (float_of_int l /. float_of_int rho)) < 1e-9)
+      Float.abs ((Sim.timing sim).Sim.wall -. (float_of_int l /. float_of_int rho)) < 1e-9)
 
 (* Phase-1 per-hop cost never exceeds L/gamma on any graph (the packing is
    capacity-disjoint). *)
@@ -553,7 +553,7 @@ let test_phase1_hop_bound =
       let (_ : int -> Wire.payload option array) =
         Phase1.run ~sim ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
       in
-      Sim.pipelined_elapsed sim <= (float_of_int l /. float_of_int gamma) +. 1e-9)
+      (Sim.timing sim).Sim.pipelined <= (float_of_int l /. float_of_int gamma) +. 1e-9)
 
 let test_ec_faulty_cannot_frame_consistency () =
   (* A faulty node lying in EC triggers MISMATCH only at its own neighbours

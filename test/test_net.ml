@@ -76,11 +76,11 @@ let test_sim_duration () =
          if v = 1 then [ (2, big_packet 8) ]
          else if v = 2 then [ (3, big_packet 8) ]
          else []));
-  Alcotest.(check (float 1e-9)) "duration = slowest link" 4.0 (Sim.elapsed sim);
+  Alcotest.(check (float 1e-9)) "duration = slowest link" 4.0 ((Sim.timing sim).Sim.wall);
   (* A second round accumulates; bottleneck is per-phase max. *)
   drop (Sim.round sim ~phase:"p" (fun v -> if v = 1 then [ (2, big_packet 4) ] else []));
-  Alcotest.(check (float 1e-9)) "wall accumulates" 5.0 (Sim.elapsed sim);
-  Alcotest.(check (float 1e-9)) "pipelined takes max" 4.0 (Sim.pipelined_elapsed sim)
+  Alcotest.(check (float 1e-9)) "wall accumulates" 5.0 ((Sim.timing sim).Sim.wall);
+  Alcotest.(check (float 1e-9)) "pipelined takes max" 4.0 ((Sim.timing sim).Sim.pipelined)
 
 let test_sim_parallel_links_share_round () =
   let sim = Sim.create line_graph ~bits:Packet.bits in
@@ -88,7 +88,7 @@ let test_sim_parallel_links_share_round () =
   drop
     (Sim.round sim ~phase:"p" (fun v ->
          if v = 1 then [ (2, big_packet 4) ] else if v = 2 then [ (1, big_packet 4) ] else []));
-  Alcotest.(check (float 1e-9)) "full duplex" 1.0 (Sim.elapsed sim)
+  Alcotest.(check (float 1e-9)) "full duplex" 1.0 ((Sim.timing sim).Sim.wall)
 
 let test_sim_aggregates_per_link () =
   let sim = Sim.create line_graph ~bits:Packet.bits in
@@ -96,7 +96,7 @@ let test_sim_aggregates_per_link () =
     (Sim.round sim ~phase:"p" (fun v ->
          if v = 1 then [ (2, big_packet 4); (2, big_packet 4) ] else []));
   (* Two messages share the link: 8 bits / cap 4 = 2. *)
-  Alcotest.(check (float 1e-9)) "aggregated" 2.0 (Sim.elapsed sim);
+  Alcotest.(check (float 1e-9)) "aggregated" 2.0 ((Sim.timing sim).Sim.wall);
   Alcotest.(check (list (pair (pair int int) int)))
     "link bits"
     [ ((1, 2), 8) ]
@@ -121,13 +121,13 @@ let test_sim_phases () =
   drop (Sim.round sim ~phase:"a" (fun v -> if v = 1 then [ (2, big_packet 4) ] else []));
   drop (Sim.round sim ~phase:"b" (fun v -> if v = 2 then [ (3, big_packet 2) ] else []));
   Sim.add_cost sim ~phase:"b" 10.0;
-  let stats = Sim.phase_stats sim in
+  let stats = (Sim.timing sim).Sim.phases in
   Alcotest.(check (list string)) "phase order" [ "a"; "b" ]
     (List.map (fun s -> s.Sim.phase) stats);
   let b = List.nth stats 1 in
   Alcotest.(check int) "rounds in b" 1 b.Sim.rounds;
   Alcotest.(check (float 1e-9)) "extra cost" 10.0 b.Sim.extra;
-  Alcotest.(check (float 1e-9)) "elapsed includes extra" 12.0 (Sim.elapsed sim)
+  Alcotest.(check (float 1e-9)) "elapsed includes extra" 12.0 ((Sim.timing sim).Sim.wall)
 
 let test_sim_events () =
   let sim = Sim.create line_graph ~bits:Packet.bits in
@@ -176,7 +176,7 @@ let test_sim_duration_property =
                  (float_of_int b /. float_of_int (Nab_graph.Digraph.cap g s d)))
              per_link 0.0
          in
-         Float.abs (Sim.elapsed sim -. expected) < 1e-9))
+         Float.abs ((Sim.timing sim).Sim.wall -. expected) < 1e-9))
 
 let test_sim_pending_and_drain () =
   (* A 2-round delay on (2,3): after node 1's flag reaches 2 and 2 forwards,

@@ -50,7 +50,7 @@ let test_phase1_fault_free () =
       Alcotest.(check bool)
         (Printf.sprintf "%s: bottleneck <= L/gamma" name)
         true
-        (Sim.pipelined_elapsed sim <= (float_of_int l /. float_of_int gamma) +. 1e-9))
+        ((Sim.timing sim).Sim.pipelined <= (float_of_int l /. float_of_int gamma) +. 1e-9))
     [ (k4, "K4"); (chords7, "chords7"); (Gen.figure2, "fig2"); (dumbbell, "dumbbell") ]
 
 let test_phase1_corruption_is_local () =
@@ -120,7 +120,7 @@ let test_phase1_timing_matches_paper () =
   let (_ : int -> Wire.payload option array) =
     Phase1.run ~sim ~phase:"phase1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
   in
-  Alcotest.(check (float 1e-9)) "bottleneck = L/gamma" 16.0 (Sim.pipelined_elapsed sim)
+  Alcotest.(check (float 1e-9)) "bottleneck = L/gamma" 16.0 ((Sim.timing sim).Sim.pipelined)
 
 let test_phase1_flood_matches_scheduled () =
   (* On a zero-delay network the flood variant delivers exactly what the
@@ -260,9 +260,9 @@ let test_rlnc_validates_input () =
 (* ---------- Dispute control unit behaviour ---------- *)
 
 let run_nab ?(g = k4) ?(q = 5) ?(l = 256) ?(m = 8) ?(f = 1) ?(backend = `Eig) adv =
-  let config = { Nab.default_config with f; l_bits = l; m; flag_backend = backend } in
+  let config = Nab.config ~f ~l_bits:l ~m ~flag_backend:backend () in
   let inputs = input_fn ~l ~seed:17 in
-  (Nab.run ~g ~config ~adversary:adv ~inputs ~q, inputs)
+  (Nab.run ~g ~config ~adversary:adv ~inputs ~q (), inputs)
 
 (* Synthetic DC2/DC3 scenarios against the pure analyse function. *)
 let make_dc_ctx () =
@@ -557,7 +557,7 @@ let test_nab_throughput_reaches_bound () =
 
 let test_pipelined_execution () =
   let g = Gen.dumbbell ~clique:3 ~clique_cap:4 ~bridge_cap:2 in
-  let config = { Nab.default_config with l_bits = 2048; m = 16 } in
+  let config = Nab.config ~l_bits:2048 ~m:16 () in
   let inputs = input_fn ~l:2048 ~seed:31 in
   let r1 = Pipelined.run ~g ~config ~inputs ~q:1 in
   let r8 = Pipelined.run ~g ~config ~inputs ~q:8 in
@@ -570,7 +570,7 @@ let test_pipelined_execution () =
   Alcotest.(check bool) "core is a floor" true
     (r8.Pipelined.per_instance >= r8.Pipelined.round_core -. 1e-9);
   (* Q instances pipelined beat Q instances run back to back. *)
-  let seq = Nab.run ~g ~config ~adversary:Adversary.none ~inputs ~q:8 in
+  let seq = Nab.run ~g ~config ~adversary:Adversary.none ~inputs ~q:8 () in
   Alcotest.(check bool)
     (Printf.sprintf "pipelined %.0f < sequential %.0f" r8.Pipelined.completion
        seq.Nab.total_wall)
@@ -579,7 +579,7 @@ let test_pipelined_execution () =
 
 let test_pipelined_matches_nab_params () =
   let g = Gen.complete ~n:4 ~cap:2 in
-  let config = { Nab.default_config with l_bits = 512; m = 8 } in
+  let config = Nab.config ~l_bits:512 ~m:8 () in
   let r = Pipelined.run ~g ~config ~inputs:(input_fn ~l:512 ~seed:3) ~q:2 in
   Alcotest.(check int) "gamma" (Params.gamma_k g ~source:1) r.Pipelined.gamma;
   Alcotest.(check int) "rho" (Params.rho_k g ~total_n:4 ~f:1 ~disputes:[])
@@ -598,31 +598,54 @@ let test_nab_gamma_rho_match_params () =
 
 let test_nab_config_validation () =
   let inputs = input_fn ~l:64 ~seed:1 in
+  (* The smart constructor rejects bad fields up front... *)
+  Alcotest.check_raises "constructor: f < 0"
+    (Invalid_argument "Nab.config: f must be >= 0") (fun () ->
+      ignore (Nab.config ~f:(-1) ()));
+  Alcotest.check_raises "constructor: l_bits = 0"
+    (Invalid_argument "Nab.config: l_bits must be positive") (fun () ->
+      ignore (Nab.config ~l_bits:0 ()));
+  Alcotest.check_raises "constructor: m out of range"
+    (Invalid_argument "Nab.config: m must be within 1..61") (fun () ->
+      ignore (Nab.config ~m:62 ()));
+  Alcotest.check_raises "updater: with_l_bits 0"
+    (Invalid_argument "Nab.config: l_bits must be positive") (fun () ->
+      ignore (Nab.with_l_bits 0 Nab.default_config));
+  (* ...and a hand-rolled record update sneaking past it is still caught at
+     session creation, with the same message. *)
   Alcotest.check_raises "l_bits = 0"
-    (Invalid_argument "Nab.create_session: l_bits must be positive") (fun () ->
+    (Invalid_argument "Nab.config: l_bits must be positive") (fun () ->
       ignore
         (Nab.run ~g:k4
            ~config:{ Nab.default_config with l_bits = 0 }
-           ~adversary:Adversary.none ~inputs ~q:1));
+           ~adversary:Adversary.none ~inputs ~q:1 ()));
   Alcotest.check_raises "absent source"
     (Invalid_argument "Nab.create_session: source absent") (fun () ->
       ignore
         (Nab.run ~g:k4
            ~config:{ Nab.default_config with source = 99 }
-           ~adversary:Adversary.none ~inputs ~q:1));
-  (* A field degree outside Gf2p's range surfaces as Invalid_degree. *)
-  Alcotest.check_raises "bad m" (Nab_field.Gf2p.Invalid_degree 62) (fun () ->
+           ~adversary:Adversary.none ~inputs ~q:1 ()));
+  Alcotest.check_raises "bad m"
+    (Invalid_argument "Nab.config: m must be within 1..61") (fun () ->
       ignore
         (Nab.run ~g:k4
            ~config:{ Nab.default_config with m = 62; l_bits = 64 }
-           ~adversary:Adversary.none ~inputs ~q:1));
+           ~adversary:Adversary.none ~inputs ~q:1 ()));
+  (* Constructor round-trip: defaults plus overrides, updaters compose. *)
+  let c = Nab.config ~f:2 ~l_bits:128 () in
+  Alcotest.(check int) "override f" 2 c.Nab.f;
+  Alcotest.(check int) "override l_bits" 128 c.Nab.l_bits;
+  Alcotest.(check int) "default m" Nab.default_config.Nab.m c.Nab.m;
+  let c' = Nab.(default_config |> with_seed 42 |> with_m 8) in
+  Alcotest.(check int) "with_seed" 42 c'.Nab.seed;
+  Alcotest.(check int) "with_m" 8 c'.Nab.m;
   (* Over-greedy adversary rejected. *)
   let greedy =
     { Adversary.none with Adversary.pick_faulty = (fun ~g:_ ~source:_ ~f:_ -> Vset.of_list [ 3; 4 ]) }
   in
   Alcotest.check_raises "too many faulty"
     (Invalid_argument "Nab.create_session: adversary picked too many nodes") (fun () ->
-      ignore (Nab.run ~g:k4 ~config:Nab.default_config ~adversary:greedy ~inputs ~q:1))
+      ignore (Nab.run ~g:k4 ~config:Nab.default_config ~adversary:greedy ~inputs ~q:1 ()))
 
 let test_nab_rejects_bad_networks () =
   let config = Nab.default_config in
@@ -631,15 +654,15 @@ let test_nab_rejects_bad_networks () =
     (Invalid_argument "Nab.run: need n >= 3f+1 and connectivity >= 2f+1") (fun () ->
       ignore
         (Nab.run ~g:(Gen.ring ~n:6 ~cap:2) ~config ~adversary:Adversary.none ~inputs
-           ~q:1))
+           ~q:1 ()))
 
 (* ---------- session API ---------- *)
 
 let test_session_incremental_matches_batch () =
-  let config = { Nab.default_config with f = 1; l_bits = 256; m = 8 } in
+  let config = Nab.config ~f:1 ~l_bits:256 ~m:8 () in
   let inputs = input_fn ~l:256 ~seed:17 in
-  let batch = Nab.run ~g:k4 ~config ~adversary:Adversary.ec_liar ~inputs ~q:5 in
-  let ses = Nab.create_session ~g:k4 ~config ~adversary:Adversary.ec_liar in
+  let batch = Nab.run ~g:k4 ~config ~adversary:Adversary.ec_liar ~inputs ~q:5 () in
+  let ses = Nab.create_session ~g:k4 ~config ~adversary:Adversary.ec_liar () in
   for k = 1 to 5 do
     ignore (Nab.session_broadcast ses (inputs k))
   done;
@@ -659,8 +682,8 @@ let test_session_incremental_matches_batch () =
     (Digraph.equal batch.Nab.final_graph (Nab.session_graph ses))
 
 let test_session_state_observable () =
-  let config = { Nab.default_config with f = 1; l_bits = 128; m = 8 } in
-  let ses = Nab.create_session ~g:k4 ~config ~adversary:Adversary.stealthy in
+  let config = Nab.config ~f:1 ~l_bits:128 ~m:8 () in
+  let ses = Nab.create_session ~g:k4 ~config ~adversary:Adversary.stealthy () in
   Alcotest.(check int) "starts clean" 0 (Nab.session_dc_count ses);
   ignore (Nab.session_broadcast ses (Bitvec.create 128));
   Alcotest.(check int) "one DC after first attack" 1 (Nab.session_dc_count ses);
@@ -670,7 +693,7 @@ let test_session_state_observable () =
 (* ---------- consensus on top of NAB ---------- *)
 
 let test_consensus_guarantees () =
-  let config = { Nab.default_config with f = 1; l_bits = 64; m = 8 } in
+  let config = Nab.config ~f:1 ~l_bits:64 ~m:8 () in
   List.iter
     (fun (name, adv) ->
       (* Distinct inputs: agreement must still hold. *)
@@ -693,7 +716,7 @@ let test_consensus_guarantees () =
     ]
 
 let test_consensus_vectors_identical () =
-  let config = { Nab.default_config with f = 1; l_bits = 64; m = 8 } in
+  let config = Nab.config ~f:1 ~l_bits:64 ~m:8 () in
   let inputs v = Bitvec.of_symbols ~sym_bits:8 (Array.make 8 v) in
   let r = Consensus.run ~g:k4 ~config ~adversary:Adversary.ec_liar ~inputs in
   let faulty = Adversary.ec_liar.Adversary.pick_faulty ~g:k4 ~source:1 ~f:1 in
