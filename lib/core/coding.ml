@@ -4,6 +4,7 @@ open Nab_graph
 
 type t = {
   fld : Gf2p.t;
+  ker : Kernel.t; (* resolved once: encode/check run on fused row kernels *)
   rho : int;
   matrices : (int * int, Matrix.t) Hashtbl.t;
 }
@@ -25,7 +26,7 @@ let generate g ~rho ~m ~seed =
   List.iter
     (fun (s, d, cap) -> Hashtbl.replace matrices (s, d) (Matrix.random fld rho cap st))
     (Digraph.edges g);
-  { fld; rho; matrices }
+  { fld; ker = Kernel.of_field fld; rho; matrices }
 
 let encode t ~edge x =
   let c = matrix t ~edge in
@@ -33,17 +34,43 @@ let encode t ~edge x =
   if len mod t.rho <> 0 then invalid_arg "Coding.encode: value length not a multiple of rho";
   let stripes = len / t.rho in
   let ze = Matrix.cols c in
+  let craw = Matrix.raw c in
   let out = Array.make (stripes * ze) 0 in
   for s = 0 to stripes - 1 do
-    let xs = Array.sub x (s * t.rho) t.rho in
-    let ys = Matrix.vec_mul t.fld xs c in
-    Array.blit ys 0 out (s * ze) ze
+    (* stripe s of x times C_e, accumulated straight into the output slot —
+       no per-stripe slicing or blitting *)
+    Kernel.mul_row_matrix t.ker ~x ~xoff:(s * t.rho) ~rows:t.rho ~b:craw ~boff:0
+      ~cols:ze ~y:out ~yoff:(s * ze)
   done;
   out
 
 let check t ~edge ~x ~received =
-  let expected = encode t ~edge x in
-  expected = received
+  let c = matrix t ~edge in
+  let len = Array.length x in
+  if len mod t.rho <> 0 then invalid_arg "Coding.encode: value length not a multiple of rho";
+  let stripes = len / t.rho in
+  let ze = Matrix.cols c in
+  Array.length received = stripes * ze
+  && begin
+       (* Stripe at a time into one scratch row, stopping at the first
+          mismatch — a faulty stripe costs rho * z_e multiplies, not a full
+          re-encode plus an array allocation. *)
+       let craw = Matrix.raw c in
+       let scratch = Array.make ze 0 in
+       let ok = ref true in
+       let s = ref 0 in
+       while !ok && !s < stripes do
+         Array.fill scratch 0 ze 0;
+         Kernel.mul_row_matrix t.ker ~x ~xoff:(!s * t.rho) ~rows:t.rho ~b:craw
+           ~boff:0 ~cols:ze ~y:scratch ~yoff:0;
+         let base = !s * ze in
+         for j = 0 to ze - 1 do
+           if scratch.(j) <> received.(base + j) then ok := false
+         done;
+         incr s
+       done;
+       !ok
+     end
 
 (* Appendix C: expand C_e (rho x z_e) into B_e ((|h|-1) * rho x z_e). In
    characteristic 2 the -C_e blocks equal C_e, so each edge contributes its

@@ -28,6 +28,8 @@ let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
   let g = match graph with Some g -> g | None -> Sim.graph sim in
   let verts = Digraph.vertices g in
   let obs = Sim.obs sim in
+  (* Hoisted once: every outgoing packet of every node shares the field. *)
+  let sym_bits = Nab_field.Gf2p.degree (Coding.field coding) in
   if Nab_obs.enabled obs then
     Nab_obs.span_begin obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
       ~attrs:
@@ -42,7 +44,6 @@ let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
       (fun (dst, _) ->
         let y = Coding.encode coding ~edge:(v, dst) (values v) in
         let y = if Vset.mem v faulty then adversary ~me:v ~dst y else y in
-        let sym_bits = Nab_field.Gf2p.degree (Coding.field coding) in
         (dst, Packet.direct ~proto ~origin:v ~dst (Wire.Coded { sym_bits; data = y })))
       (Digraph.out_edges g v)
   in

@@ -173,6 +173,14 @@ let session_broadcast ses input0 =
   let total_n = ses.ses_total_n in
   let obs = ses.ses_obs in
   let k = ses.ses_next_k in
+  (* Field-kernel work issued while this instance runs (coding-matrix
+     verification, equality-check encoding, dispute replay). Deltas are
+     counters only — no trace events — so golden traces are unaffected; they
+     are deterministic because every field operation of an instance runs on
+     the calling domain (pool workers only do graph work). *)
+  let kernel_stats0 =
+    if Nab_obs.enabled obs then Some (Nab_field.Kernel.stats ()) else None
+  in
   Nab_obs.span_begin obs ~scope:"nab" ~attrs:[ ("k", Nab_obs.I k) ] "instance";
     let input = Bitvec.pad_to input0 l_bits in
     if Bitvec.length input <> l_bits then invalid_arg "Nab: input longer than L";
@@ -414,6 +422,12 @@ let session_broadcast ses input0 =
   ses.ses_next_k <- k + 1;
   ses.ses_instances <- report :: ses.ses_instances;
   Nab_obs.add obs "nab.instances" 1;
+  (match kernel_stats0 with
+  | Some s0 ->
+      let d = Nab_field.Kernel.diff_stats s0 (Nab_field.Kernel.stats ()) in
+      Nab_obs.add obs "nab.kernel_flops" d.Nab_field.Kernel.flops;
+      Nab_obs.add obs "nab.kernel_symbols" d.Nab_field.Kernel.symbols
+  | None -> ());
   if Nab_obs.enabled obs then
     Nab_obs.span_end obs ~scope:"nab" ~t:report.wall_time
       ~attrs:

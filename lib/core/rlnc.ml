@@ -12,9 +12,16 @@ type result = {
   header_bits : int;
 }
 
-(* A coded packet: gamma coefficients plus the combined payload symbols,
-   all over GF(2^m). On the wire both travel as one Coded vector. *)
-type coded = { coeffs : int array; payload : int array }
+(* A coded row: gamma coefficients followed by the combined payload symbols
+   in one flat buffer over GF(2^m) — exactly the wire layout of the Coded
+   vector, so encode/decode is offset arithmetic, not copying. Buffered rows
+   additionally cache their pivot (leading coefficient) column and value,
+   fixed at insertion time: rows are never mutated once buffered. *)
+type coded = { data : int array; pivot : int; pivot_val : int }
+
+(* Per-node buffer: rows in insertion (prepend) order for combination and
+   decoding, plus an O(1) pivot-column index for insertion. *)
+type buffer = { mutable rows : coded list; by_pivot : coded option array }
 
 let proto = "rlnc"
 
@@ -27,90 +34,79 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
   if l <= 0 || l mod (gamma * m) <> 0 then
     invalid_arg "Rlnc.broadcast: value length must be a positive multiple of gamma * m";
   let fld = Gf2p.create m in
+  let ker = Kernel.of_field fld in
   let st = Random.State.make [| seed; 0x12a9c; gamma; m |] in
   let max_rounds = match max_rounds with Some r -> r | None -> 4 * (n + gamma) in
   (* The generation: gamma source symbols, each a row of payload length
      l / (gamma * m) sub-symbols. *)
   let payload_syms = l / (gamma * m) in
+  let total = gamma + payload_syms in
   let slices = Array.of_list (Bitvec.split value ~parts:gamma) in
+  (* The source's generation as coded rows: unit coefficient i, payload
+     slice i. Built once — combination only reads them. *)
   let source_rows =
-    Array.map (fun s -> Bitvec.to_symbols s ~sym_bits:m) slices
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           let data = Array.make total 0 in
+           data.(i) <- 1;
+           Array.blit (Bitvec.to_symbols s ~sym_bits:m) 0 data gamma payload_syms;
+           { data; pivot = i; pivot_val = 1 })
+         slices)
   in
   (* Per-node buffer of innovative packets (kept in echelon form over the
      coefficient part so rank queries are O(1)). *)
-  let buffers : (int, coded list ref) Hashtbl.t = Hashtbl.create n in
-  List.iter (fun v -> Hashtbl.replace buffers v (ref [])) verts;
-  let rank v = List.length !(Hashtbl.find buffers v) in
-  let lead c =
-    let rec go i =
-      if i = Array.length c then None else if c.(i) <> 0 then Some (i, c.(i)) else go (i + 1)
-    in
-    go 0
-  in
+  let buffers : (int, buffer) Hashtbl.t = Hashtbl.create n in
+  List.iter
+    (fun v ->
+      Hashtbl.replace buffers v { rows = []; by_pivot = Array.make gamma None })
+    verts;
+  let rank v = List.length (Hashtbl.find buffers v).rows in
   (* Insert with on-line Gaussian elimination. Buffer rows keep pairwise
      distinct pivot columns, so rank = length and the coefficient matrix of
-     a full-rank buffer is always invertible. Returns true if innovative. *)
-  let insert v pkt =
+     a full-rank buffer is always invertible. Returns true if innovative.
+     Takes ownership of [data] (a fresh copy of the wire payload).
+
+     Reduction invariant: a buffered row's entries below its pivot column
+     are zero, and so are the packet's once the scan has passed them — so
+     each elimination step is one fused axpy over the [pivot, total) tail,
+     and the leading-coefficient rescan resumes where it left off instead of
+     restarting from column 0. *)
+  let insert v data =
     let buf = Hashtbl.find buffers v in
-    let pkt = { coeffs = Array.copy pkt.coeffs; payload = Array.copy pkt.payload } in
-    let subtract factor (row : coded) =
-      Array.iteri
-        (fun k c -> pkt.coeffs.(k) <- Gf2p.sub fld pkt.coeffs.(k) (Gf2p.mul fld factor c))
-        row.coeffs;
-      Array.iteri
-        (fun k p -> pkt.payload.(k) <- Gf2p.sub fld pkt.payload.(k) (Gf2p.mul fld factor p))
-        row.payload
+    let rec go i =
+      if i >= gamma then false
+      else if data.(i) = 0 then go (i + 1)
+      else
+        match buf.by_pivot.(i) with
+        | None ->
+            let row = { data; pivot = i; pivot_val = data.(i) } in
+            buf.rows <- row :: buf.rows;
+            buf.by_pivot.(i) <- Some row;
+            true
+        | Some row ->
+            let factor = Kernel.div ker data.(i) row.pivot_val in
+            Kernel.axpy ker ~a:factor ~x:row.data ~xoff:i ~y:data ~yoff:i
+              ~len:(total - i);
+            go (i + 1)
     in
-    let rec go () =
-      match lead pkt.coeffs with
-      | None -> false
-      | Some (i, x) -> (
-          let same_pivot row =
-            match lead row.coeffs with Some (j, _) -> j = i | None -> false
-          in
-          match List.find_opt same_pivot !buf with
-          | None ->
-              buf := pkt :: !buf;
-              true
-          | Some row ->
-              let _, y = Option.get (lead row.coeffs) in
-              subtract (Gf2p.div fld x y) row;
-              go ())
-    in
-    go ()
+    go 0
   in
   (* Random combination of a node's knowledge space. The source combines the
      original generation directly. *)
   let combine v =
-    let rows =
-      if v = source then
-        Array.to_list
-          (Array.mapi
-             (fun i row ->
-               let coeffs = Array.make gamma 0 in
-               coeffs.(i) <- 1;
-               { coeffs; payload = row })
-             source_rows)
-      else !(Hashtbl.find buffers v)
-    in
+    let rows = if v = source then source_rows else (Hashtbl.find buffers v).rows in
     match rows with
     | [] -> None
     | _ ->
-        let coeffs = Array.make gamma 0 in
-        let payload = Array.make payload_syms 0 in
+        let acc = Array.make total 0 in
         List.iter
           (fun row ->
             let a = Gf2p.random fld st in
-            if a <> 0 then begin
-              Array.iteri
-                (fun k c -> coeffs.(k) <- Gf2p.add fld coeffs.(k) (Gf2p.mul fld a c))
-                row.coeffs;
-              Array.iteri
-                (fun k p -> payload.(k) <- Gf2p.add fld payload.(k) (Gf2p.mul fld a p))
-                row.payload
-            end)
+            if a <> 0 then Kernel.axpy_row ker ~a ~x:row.data ~y:acc)
           rows;
-        if Array.for_all (( = ) 0) coeffs then None else Some { coeffs; payload }
+        let rec all_zero i = i = gamma || (acc.(i) = 0 && all_zero (i + 1)) in
+        if all_zero 0 then None else Some acc
   in
   let header_bits = ref 0 in
   let payload_bits = ref 0 in
@@ -127,10 +123,10 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
               (fun _ ->
                 match combine v with
                 | None -> None
-                | Some pkt ->
+                | Some data ->
+                    (* The combined row already has the wire layout. *)
                     header_bits := !header_bits + (gamma * m);
                     payload_bits := !payload_bits + (payload_syms * m);
-                    let data = Array.append pkt.coeffs pkt.payload in
                     Some (dst, Packet.direct ~proto ~origin:v ~dst (Wire.Coded { sym_bits = m; data })))
               (List.init cap Fun.id))
           (Digraph.out_edges g v)
@@ -142,11 +138,10 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
           List.iter
             (fun (_, (pkt : Packet.t)) ->
               match pkt.Packet.payload with
-              | Wire.Coded { sym_bits; data }
-                when sym_bits = m && Array.length data = gamma + payload_syms ->
-                  let coeffs = Array.sub data 0 gamma in
-                  let payload = Array.sub data gamma payload_syms in
-                  ignore (insert v { coeffs; payload })
+              | Wire.Coded { sym_bits; data } when sym_bits = m && Array.length data = total ->
+                  (* One defensive copy — insert takes ownership and reduces
+                     in place, by offset; no coeff/payload re-slicing. *)
+                  ignore (insert v (Array.copy data))
               | _ -> ())
             (inbox v))
       verts
@@ -156,9 +151,9 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
     if v = source then Some value
     else if rank v < gamma then None
     else begin
-      let rows = !(Hashtbl.find buffers v) in
-      let cmat = Matrix.of_arrays (Array.of_list (List.map (fun r -> r.coeffs) rows)) in
-      let pmat = Matrix.of_arrays (Array.of_list (List.map (fun r -> r.payload) rows)) in
+      let rows = Array.of_list (Hashtbl.find buffers v).rows in
+      let cmat = Matrix.init gamma gamma (fun i j -> rows.(i).data.(j)) in
+      let pmat = Matrix.init gamma payload_syms (fun i j -> rows.(i).data.(gamma + j)) in
       match Gauss.inverse fld cmat with
       | None -> None
       | Some ci ->

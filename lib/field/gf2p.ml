@@ -203,6 +203,8 @@ let tables_of f =
              | None -> build_tables f))
   | None -> None
 
+let tables = tables_of
+
 let mul f a b =
   assert (is_valid f a && is_valid f b);
   match tables_of f with

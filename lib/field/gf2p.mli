@@ -87,3 +87,11 @@ val pp_field : Format.formatter -> t -> unit
 val irreducible : m:int -> poly:int -> bool
 (** Rabin irreducibility test for a degree-[m] polynomial over GF(2), given
     as a full bit mask. Exposed for tests. *)
+
+val tables : t -> (int array * int array) option
+(** [(exp, log)] discrete-log tables for [m <= 16], built (once, domain-safe)
+    on first call; [None] above the table limit. [exp] has [2 * (2^m - 1)]
+    entries (generator powers, doubled so a product of two logs needs no
+    modulo); [log] maps a nonzero element to its discrete log. The arrays are
+    immutable once published — callers ({!Kernel}) may read them freely but
+    must not mutate them. *)

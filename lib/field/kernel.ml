@@ -1,0 +1,293 @@
+(* Table-resolved fused row kernels over GF(2^m). See kernel.mli for the
+   contract. The design constraint throughout: resolve every per-field
+   indirection (atomics, variant matches, table option) once in [of_field],
+   so the inner loops are plain array arithmetic the compiler can keep in
+   registers. *)
+
+type mode =
+  | Bytes8 of { exp8 : Bytes.t; log8 : Bytes.t }
+      (* m = 8 fast path: both tables live in 766 contiguous bytes. *)
+  | Tab of { exp : int array; log : int array }
+      (* m <= 16: log-domain loops over the shared Gf2p tables. *)
+  | Raw of { taps : int; hi : int; msk : int }
+      (* m > 16: carry-less peasant multiplication. *)
+
+type t = { fld : Gf2p.t; m : int; mask : int; mode : mode }
+
+let field k = k.fld
+let degree k = k.m
+let tabled k = match k.mode with Raw _ -> false | _ -> true
+
+(* ------------------------------ stats ------------------------------ *)
+
+type stats = { flops : int; symbols : int }
+
+let flops_ctr = Atomic.make 0
+let symbols_ctr = Atomic.make 0
+
+let count ~flops ~symbols =
+  ignore (Atomic.fetch_and_add flops_ctr flops);
+  ignore (Atomic.fetch_and_add symbols_ctr symbols)
+
+let stats () = { flops = Atomic.get flops_ctr; symbols = Atomic.get symbols_ctr }
+
+let reset_stats () =
+  Atomic.set flops_ctr 0;
+  Atomic.set symbols_ctr 0
+
+let diff_stats before after =
+  { flops = after.flops - before.flops; symbols = after.symbols - before.symbols }
+
+(* ---------------------------- resolution ---------------------------- *)
+
+(* Memoized per (degree, reduction polynomial): [Gf2p.create] caches
+   descriptors per degree, but [create_with_poly] mints fresh ones, and the
+   resolved tables depend only on the pair. *)
+let cache_lock = Mutex.create ()
+let cache : (int * int, t) Hashtbl.t = Hashtbl.create 8
+
+let resolve fld =
+  let m = Gf2p.degree fld in
+  let mask = (1 lsl m) - 1 in
+  let mode =
+    match Gf2p.tables fld with
+    | Some (exp, log) when m = 8 ->
+        let exp8 = Bytes.create (Array.length exp) in
+        Array.iteri (fun i v -> Bytes.set exp8 i (Char.chr v)) exp;
+        let log8 = Bytes.create (Array.length log) in
+        Array.iteri (fun i v -> Bytes.set log8 i (Char.chr v)) log;
+        Bytes8 { exp8; log8 }
+    | Some (exp, log) -> Tab { exp; log }
+    | None ->
+        Raw
+          {
+            taps = Gf2p.reduction_poly fld land mask;
+            hi = 1 lsl (m - 1);
+            msk = mask;
+          }
+  in
+  { fld; m; mask; mode }
+
+let of_field fld =
+  let key = (Gf2p.degree fld, Gf2p.reduction_poly fld) in
+  Mutex.lock cache_lock;
+  match
+    match Hashtbl.find_opt cache key with
+    | Some k -> k
+    | None ->
+        let k = resolve fld in
+        Hashtbl.add cache key k;
+        k
+  with
+  | k ->
+      Mutex.unlock cache_lock;
+      k
+  | exception e ->
+      Mutex.unlock cache_lock;
+      raise e
+
+(* ------------------------- scalar operations ------------------------- *)
+
+let add _ a b = a lxor b
+
+let raw_mul ~taps ~hi ~msk a b =
+  let a = ref a and b = ref b and acc = ref 0 in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := (if !a land hi <> 0 then ((!a lsl 1) land msk) lxor taps else !a lsl 1);
+    b := !b lsr 1
+  done;
+  !acc
+
+let mul k a b =
+  assert (a land lnot k.mask = 0 && b land lnot k.mask = 0);
+  match k.mode with
+  | Bytes8 { exp8; log8 } ->
+      if a = 0 || b = 0 then 0
+      else
+        Char.code
+          (Bytes.unsafe_get exp8
+             (Char.code (Bytes.unsafe_get log8 a)
+             + Char.code (Bytes.unsafe_get log8 b)))
+  | Tab { exp; log } ->
+      if a = 0 || b = 0 then 0
+      else Array.unsafe_get exp (Array.unsafe_get log a + Array.unsafe_get log b)
+  | Raw { taps; hi; msk } -> raw_mul ~taps ~hi ~msk a b
+
+let inv k a =
+  if a = 0 then raise Division_by_zero;
+  match k.mode with
+  | Bytes8 { exp8; log8 } ->
+      Char.code
+        (Bytes.unsafe_get exp8 (255 - Char.code (Bytes.unsafe_get log8 a)))
+  | Tab { exp; log } -> Array.unsafe_get exp (k.mask - Array.unsafe_get log a)
+  | Raw { taps; hi; msk } ->
+      (* a^(2^m - 2) by square-and-multiply. *)
+      let rec go x e acc =
+        if e = 0 then acc
+        else
+          let acc = if e land 1 = 1 then raw_mul ~taps ~hi ~msk acc x else acc in
+          go (raw_mul ~taps ~hi ~msk x x) (e lsr 1) acc
+      in
+      go a (k.mask - 1) 1
+
+let div k a b = mul k a (inv k b)
+let muladd k acc a b = acc lxor mul k a b
+
+(* Raw-mode row helper: with [a] fixed across a whole row, precompute
+   a * x^j mod poly for j < m once, so each element multiply is one table
+   lookup per set bit of the element instead of a full m-step shift-reduce
+   chain. [tbl] must have length m. *)
+let fill_shift_tbl ~taps ~hi ~msk ~m tbl a =
+  let v = ref a in
+  for j = 0 to m - 1 do
+    Array.unsafe_set tbl j !v;
+    v := (if !v land hi <> 0 then ((!v lsl 1) land msk) lxor taps else !v lsl 1)
+  done
+
+let shift_mul tbl xi =
+  let acc = ref 0 and b = ref xi and j = ref 0 in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor Array.unsafe_get tbl !j;
+    incr j;
+    b := !b lsr 1
+  done;
+  !acc
+
+(* ------------------------- fused row kernels ------------------------- *)
+
+let check_range name arr off len =
+  if off < 0 || len < 0 || off + len > Array.length arr then
+    invalid_arg (name ^ ": range out of bounds")
+
+let axpy k ~a ~x ~xoff ~y ~yoff ~len =
+  assert (a land lnot k.mask = 0);
+  check_range "Kernel.axpy" x xoff len;
+  check_range "Kernel.axpy" y yoff len;
+  if a <> 0 then begin
+    count ~flops:len ~symbols:(3 * len);
+    if a = 1 then
+      for i = 0 to len - 1 do
+        Array.unsafe_set y (yoff + i)
+          (Array.unsafe_get y (yoff + i) lxor Array.unsafe_get x (xoff + i))
+      done
+    else
+      match k.mode with
+      | Bytes8 { exp8; log8 } ->
+          let la = Char.code (Bytes.unsafe_get log8 a) in
+          for i = 0 to len - 1 do
+            let xi = Array.unsafe_get x (xoff + i) in
+            if xi <> 0 then
+              Array.unsafe_set y (yoff + i)
+                (Array.unsafe_get y (yoff + i)
+                lxor Char.code
+                       (Bytes.unsafe_get exp8
+                          (la + Char.code (Bytes.unsafe_get log8 xi))))
+          done
+      | Tab { exp; log } ->
+          let la = Array.unsafe_get log a in
+          for i = 0 to len - 1 do
+            let xi = Array.unsafe_get x (xoff + i) in
+            if xi <> 0 then
+              Array.unsafe_set y (yoff + i)
+                (Array.unsafe_get y (yoff + i)
+                lxor Array.unsafe_get exp (la + Array.unsafe_get log xi))
+          done
+      | Raw { taps; hi; msk } ->
+          let tbl = Array.make k.m 0 in
+          fill_shift_tbl ~taps ~hi ~msk ~m:k.m tbl a;
+          for i = 0 to len - 1 do
+            let xi = Array.unsafe_get x (xoff + i) in
+            if xi <> 0 then
+              Array.unsafe_set y (yoff + i)
+                (Array.unsafe_get y (yoff + i) lxor shift_mul tbl xi)
+          done
+  end
+
+let axpy_row k ~a ~x ~y =
+  let len = Array.length x in
+  if Array.length y <> len then invalid_arg "Kernel.axpy_row: length mismatch";
+  axpy k ~a ~x ~xoff:0 ~y ~yoff:0 ~len
+
+let scal k ~a ~x ~off ~len =
+  assert (a land lnot k.mask = 0);
+  check_range "Kernel.scal" x off len;
+  if a = 0 then begin
+    count ~flops:len ~symbols:len;
+    Array.fill x off len 0
+  end
+  else if a <> 1 then begin
+    count ~flops:len ~symbols:(2 * len);
+    match k.mode with
+    | Bytes8 { exp8; log8 } ->
+        let la = Char.code (Bytes.unsafe_get log8 a) in
+        for i = 0 to len - 1 do
+          let xi = Array.unsafe_get x (off + i) in
+          if xi <> 0 then
+            Array.unsafe_set x (off + i)
+              (Char.code
+                 (Bytes.unsafe_get exp8
+                    (la + Char.code (Bytes.unsafe_get log8 xi))))
+        done
+    | Tab { exp; log } ->
+        let la = Array.unsafe_get log a in
+        for i = 0 to len - 1 do
+          let xi = Array.unsafe_get x (off + i) in
+          if xi <> 0 then
+            Array.unsafe_set x (off + i)
+              (Array.unsafe_get exp (la + Array.unsafe_get log xi))
+        done
+    | Raw { taps; hi; msk } ->
+        let tbl = Array.make k.m 0 in
+        fill_shift_tbl ~taps ~hi ~msk ~m:k.m tbl a;
+        for i = 0 to len - 1 do
+          let xi = Array.unsafe_get x (off + i) in
+          if xi <> 0 then Array.unsafe_set x (off + i) (shift_mul tbl xi)
+        done
+  end
+
+let scal_row k ~a ~x = scal k ~a ~x ~off:0 ~len:(Array.length x)
+
+let dot k ~x ~xoff ~y ~yoff ~len =
+  check_range "Kernel.dot" x xoff len;
+  check_range "Kernel.dot" y yoff len;
+  count ~flops:len ~symbols:(2 * len);
+  let acc = ref 0 in
+  (match k.mode with
+  | Bytes8 { exp8; log8 } ->
+      for i = 0 to len - 1 do
+        let xi = Array.unsafe_get x (xoff + i) in
+        let yi = Array.unsafe_get y (yoff + i) in
+        if xi <> 0 && yi <> 0 then
+          acc :=
+            !acc
+            lxor Char.code
+                   (Bytes.unsafe_get exp8
+                      (Char.code (Bytes.unsafe_get log8 xi)
+                      + Char.code (Bytes.unsafe_get log8 yi)))
+      done
+  | Tab { exp; log } ->
+      for i = 0 to len - 1 do
+        let xi = Array.unsafe_get x (xoff + i) in
+        let yi = Array.unsafe_get y (yoff + i) in
+        if xi <> 0 && yi <> 0 then
+          acc :=
+            !acc
+            lxor Array.unsafe_get exp (Array.unsafe_get log xi + Array.unsafe_get log yi)
+      done
+  | Raw { taps; hi; msk } ->
+      for i = 0 to len - 1 do
+        let xi = Array.unsafe_get x (xoff + i) in
+        let yi = Array.unsafe_get y (yoff + i) in
+        if xi <> 0 && yi <> 0 then acc := !acc lxor raw_mul ~taps ~hi ~msk xi yi
+      done);
+  !acc
+
+let mul_row_matrix k ~x ~xoff ~rows ~b ~boff ~cols ~y ~yoff =
+  check_range "Kernel.mul_row_matrix" x xoff rows;
+  check_range "Kernel.mul_row_matrix" b boff (rows * cols);
+  check_range "Kernel.mul_row_matrix" y yoff cols;
+  for r = 0 to rows - 1 do
+    let a = Array.unsafe_get x (xoff + r) in
+    if a <> 0 then axpy k ~a ~x:b ~xoff:(boff + (r * cols)) ~y ~yoff ~len:cols
+  done

@@ -1,0 +1,109 @@
+(** Fused GF(2^m) row kernels.
+
+    Every hot loop in the repo — Gaussian elimination, matrix products, RLNC
+    packet insertion, equality-check encoding, Reed–Solomon evaluation —
+    bottoms out in "combine one row of field symbols into another". Going
+    through {!Gf2p.mul} for each symbol pays an [Atomic.get], a variant
+    match and an assertion per multiply. A kernel resolves a field's
+    exp/log tables {e once} into a first-class record, then exposes fused
+    primitives whose inner loops are pure array arithmetic:
+
+    - [m = 8]: a [Bytes]-backed table pair (766 bytes total, cache-resident);
+    - [m <= 16]: log-domain loops over the shared {!Gf2p.tables} arrays;
+    - [m > 16]: carry-less peasant multiplication (no tables fit).
+
+    All primitives take explicit offsets and lengths so callers can work on
+    flat row-major buffers without slicing. Ranges are bounds-checked once
+    per call, then the loop runs unchecked. [x] and [y] may alias the same
+    array only if the two ranges do not overlap (distinct rows of one flat
+    matrix are fine).
+
+    Kernels are immutable and domain-safe: {!of_field} memoizes per
+    [(degree, reduction polynomial)] under a mutex, and the resolved tables
+    are never written after publication. *)
+
+type t
+
+val of_field : Gf2p.t -> t
+(** Resolve (and memoize) the kernel for a field. First call per field may
+    build the {!Gf2p.tables}; subsequent calls are a cheap lookup. *)
+
+val field : t -> Gf2p.t
+val degree : t -> int
+
+val tabled : t -> bool
+(** Whether the kernel runs on exp/log tables ([m <= 16]). *)
+
+(** {1 Scalar operations}
+
+    Same results as the {!Gf2p} counterparts, without the per-call cache
+    lookup. *)
+
+val add : t -> int -> int -> int
+val mul : t -> int -> int -> int
+
+val inv : t -> int -> int
+(** Raises [Division_by_zero] on [0]. *)
+
+val div : t -> int -> int -> int
+
+val muladd : t -> int -> int -> int -> int
+(** [muladd k acc a b = acc + a * b] — the fused step of Horner and dot
+    loops. *)
+
+(** {1 Fused row primitives}
+
+    All raise [Invalid_argument] if an offset/length pair runs out of
+    bounds, and assert (debug builds) that scalars are reduced field
+    elements. *)
+
+val axpy :
+  t -> a:int -> x:int array -> xoff:int -> y:int array -> yoff:int -> len:int -> unit
+(** [y(i) <- y(i) + a * x(i)] over the given ranges. [a = 0] is a no-op;
+    [a = 1] runs a pure XOR loop. *)
+
+val axpy_row : t -> a:int -> x:int array -> y:int array -> unit
+(** {!axpy} over two whole rows of equal length. *)
+
+val scal : t -> a:int -> x:int array -> off:int -> len:int -> unit
+(** In-place [x(i) <- a * x(i)]. *)
+
+val scal_row : t -> a:int -> x:int array -> unit
+
+val dot :
+  t -> x:int array -> xoff:int -> y:int array -> yoff:int -> len:int -> int
+(** Inner product of the two ranges. *)
+
+val mul_row_matrix :
+  t ->
+  x:int array ->
+  xoff:int ->
+  rows:int ->
+  b:int array ->
+  boff:int ->
+  cols:int ->
+  y:int array ->
+  yoff:int ->
+  unit
+(** [y <- y + x * B] for a [rows]-length coefficient slice [x] and a flat
+    row-major [rows * cols] matrix [B] starting at [boff]: accumulates
+    [x(k) * B(k, j)] into [y(j)]. The caller zero-fills [y] for a plain
+    product. *)
+
+(** {1 Accounting}
+
+    Global, domain-safe counters of the work issued to the kernels, for
+    {!Nab_obs} wiring and the micro-benchmarks. [flops] counts field
+    multiply-accumulate slots issued to fused loops (one per element of an
+    {!axpy}/{!scal}/{!dot} range — zero operands still count: it is an
+    issued-work measure, not a dynamic nonzero count). [symbols] counts
+    field symbols read or written by those loops. Scalar operations are not
+    counted. *)
+
+type stats = { flops : int; symbols : int }
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val diff_stats : stats -> stats -> stats
+(** [diff_stats before after] — elementwise [after - before]. *)

@@ -28,28 +28,38 @@ let add f (p : t) (q : t) : t =
   let coeff (r : t) i = if i < Array.length r then r.(i) else 0 in
   strip (Array.init n (fun i -> Gf2p.add f (coeff p i) (coeff q i)))
 
+(* Product as a sequence of fused shifted-axpy rows: r[i..] += p_i * q. *)
 let mul f (p : t) (q : t) : t =
   if is_zero p || is_zero q then zero
   else begin
-    let r = Array.make (Array.length p + Array.length q - 1) 0 in
+    let k = Kernel.of_field f in
+    let nq = Array.length q in
+    let r = Array.make (Array.length p + nq - 1) 0 in
     Array.iteri
-      (fun i pi ->
-        if pi <> 0 then
-          Array.iteri
-            (fun j qj -> r.(i + j) <- Gf2p.add f r.(i + j) (Gf2p.mul f pi qj))
-            q)
+      (fun i pi -> if pi <> 0 then Kernel.axpy k ~a:pi ~x:q ~xoff:0 ~y:r ~yoff:i ~len:nq)
       p;
     strip r
   end
 
 let scale f c (p : t) : t =
-  if c = 0 then zero else strip (Array.map (fun pi -> Gf2p.mul f c pi) p)
+  if c = 0 then zero
+  else begin
+    let r = Array.copy p in
+    Kernel.scal_row (Kernel.of_field f) ~a:c ~x:r;
+    strip r
+  end
 
 let eval f (p : t) v =
-  (* Horner's rule. *)
-  Array.fold_right (fun c acc -> Gf2p.add f (Gf2p.mul f acc v) c) p 0
+  (* Horner's rule on the resolved kernel. *)
+  let k = Kernel.of_field f in
+  let acc = ref 0 in
+  for i = Array.length p - 1 downto 0 do
+    acc := Kernel.muladd k p.(i) !acc v
+  done;
+  !acc
 
 let interpolate f pairs =
+  let k = Kernel.of_field f in
   let pts = List.map fst pairs in
   let rec dup = function
     | [] -> false
@@ -64,8 +74,8 @@ let interpolate f pairs =
           (fun b xj ->
             if xj = xi then b
             else
-              let denom = Gf2p.inv f (Gf2p.sub f xi xj) in
-              let factor = of_coeffs f [| Gf2p.mul f xj denom; denom |] in
+              let denom = Kernel.inv k (Gf2p.sub f xi xj) in
+              let factor = of_coeffs f [| Kernel.mul k xj denom; denom |] in
               mul f b factor)
           (constant f 1) pts
       in

@@ -1,8 +1,11 @@
 type t = {
   fld : Gf2p.t;
+  ker : Kernel.t;
   k : int;
   n : int;
-  coeff_of_data : Poly.t array; (* Lagrange basis through the first k points *)
+  basis_rows : int array;
+      (* Lagrange basis through the first k points, flat k x k row-major,
+         zero-padded: row i is the polynomial through (j, [j = i]). *)
 }
 
 let create fld ~k ~n =
@@ -15,24 +18,41 @@ let create fld ~k ~n =
     Array.init k (fun i ->
         Poly.interpolate fld (List.init k (fun j -> (j, if j = i then 1 else 0))))
   in
-  { fld; k; n; coeff_of_data = basis }
+  (* Flat copy for the fused encoder: row i holds basis.(i) padded to k
+     coefficients, so [message_coeffs] is one mul_row_matrix. *)
+  let basis_rows = Array.make (k * k) 0 in
+  Array.iteri
+    (fun i p ->
+      let c = (p : Poly.t :> int array) in
+      Array.blit c 0 basis_rows (i * k) (Array.length c))
+    basis;
+  { fld; ker = Kernel.of_field fld; k; n; basis_rows }
 
 let k t = t.k
 let n t = t.n
 
-let message_poly t data =
-  Array.to_seqi data
-  |> Seq.fold_left
-       (fun acc (i, d) -> Poly.add t.fld acc (Poly.scale t.fld d t.coeff_of_data.(i)))
-       Poly.zero
+(* Coefficients (length k, possibly zero-padded) of the message polynomial:
+   a fused linear combination of the flat basis rows. *)
+let message_coeffs t data =
+  let c = Array.make t.k 0 in
+  Kernel.mul_row_matrix t.ker ~x:data ~xoff:0 ~rows:t.k ~b:t.basis_rows ~boff:0
+    ~cols:t.k ~y:c ~yoff:0;
+  c
+
+let horner ker (c : int array) v =
+  let acc = ref 0 in
+  for i = Array.length c - 1 downto 0 do
+    acc := Kernel.muladd ker c.(i) !acc v
+  done;
+  !acc
 
 let encode t data =
   if Array.length data <> t.k then invalid_arg "Rs.encode: wrong data length";
   Array.iter
     (fun d -> if not (Gf2p.is_valid t.fld d) then invalid_arg "Rs.encode: bad symbol")
     data;
-  let p = message_poly t data in
-  Array.init t.n (fun i -> if i < t.k then data.(i) else Poly.eval t.fld p i)
+  let c = message_coeffs t data in
+  Array.init t.n (fun i -> if i < t.k then data.(i) else horner t.ker c i)
 
 let decode t shares =
   let shares =

@@ -1,48 +1,59 @@
 open Nab_field
 
-(* All routines copy the input into a mutable int array array workspace and
-   run textbook row reduction over the field. *)
+(* All routines copy the input into a flat row-major int array workspace and
+   run row reduction through the fused field kernels ({!Nab_field.Kernel}):
+   pivot normalisation is one [scal] over the row tail, elimination is one
+   [axpy] per target row. Pivot selection (first nonzero entry at or below
+   the working row) is identical to the textbook version this replaced, so
+   every result — including the arbitrary solution [solve] picks for
+   underdetermined systems — is bit-for-bit unchanged. *)
 
-let workspace a = Matrix.to_arrays a
+let workspace a = Array.copy (Matrix.raw a)
 
-(* Forward elimination into row-echelon form. Returns the pivot list as
-   (row, col) pairs in elimination order and the determinant accumulator
-   (meaningful only for square full elimination; over GF(2^m) there are no
-   sign flips since -1 = 1). *)
-let echelon f (w : int array array) =
-  let nr = Array.length w in
-  let nc = if nr = 0 then 0 else Array.length w.(0) in
+let swap_rows w nc r1 r2 =
+  if r1 <> r2 then begin
+    let o1 = r1 * nc and o2 = r2 * nc in
+    for j = 0 to nc - 1 do
+      let t = w.(o1 + j) in
+      w.(o1 + j) <- w.(o2 + j);
+      w.(o2 + j) <- t
+    done
+  end
+
+(* First row at or below [r] with a nonzero entry in column [c], or -1. *)
+let find_pivot w nc nr r c =
+  let pr = ref (-1) in
+  (try
+     for i = r to nr - 1 do
+       if w.((i * nc) + c) <> 0 then begin
+         pr := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !pr
+
+(* Forward elimination into row-echelon form (pivot rows normalised to 1).
+   Returns the pivot list as (row, col) pairs in elimination order. *)
+let echelon k (w : int array) ~nr ~nc =
   let pivots = ref [] in
   let r = ref 0 in
   let c = ref 0 in
   while !r < nr && !c < nc do
-    (* Find a pivot in column !c at or below row !r. *)
-    let pr = ref (-1) in
-    (try
-       for i = !r to nr - 1 do
-         if w.(i).(!c) <> 0 then begin
-           pr := i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    if !pr < 0 then incr c
+    let pr = find_pivot w nc nr !r !c in
+    if pr < 0 then incr c
     else begin
-      if !pr <> !r then begin
-        let tmp = w.(!pr) in
-        w.(!pr) <- w.(!r);
-        w.(!r) <- tmp
-      end;
-      let inv_pivot = Gf2p.inv f w.(!r).(!c) in
-      for j = !c to nc - 1 do
-        w.(!r).(j) <- Gf2p.mul f inv_pivot w.(!r).(j)
-      done;
+      swap_rows w nc pr !r;
+      let ro = !r * nc in
+      let tail = nc - !c in
+      let pivot = w.(ro + !c) in
+      if pivot <> 1 then
+        Kernel.scal k ~a:(Kernel.inv k pivot) ~x:w ~off:(ro + !c) ~len:tail;
       for i = !r + 1 to nr - 1 do
-        let factor = w.(i).(!c) in
+        let io = i * nc in
+        let factor = w.(io + !c) in
         if factor <> 0 then
-          for j = !c to nc - 1 do
-            w.(i).(j) <- Gf2p.sub f w.(i).(j) (Gf2p.mul f factor w.(!r).(j))
-          done
+          Kernel.axpy k ~a:factor ~x:w ~xoff:(ro + !c) ~y:w ~yoff:(io + !c) ~len:tail
       done;
       pivots := (!r, !c) :: !pivots;
       incr r;
@@ -51,22 +62,23 @@ let echelon f (w : int array array) =
   done;
   List.rev !pivots
 
-let back_substitute f (w : int array array) pivots =
-  let nc = if Array.length w = 0 then 0 else Array.length w.(0) in
+let back_substitute k (w : int array) ~nc pivots =
   List.iter
     (fun (r, c) ->
+      let ro = r * nc in
+      let tail = nc - c in
       for i = 0 to r - 1 do
-        let factor = w.(i).(c) in
+        let io = i * nc in
+        let factor = w.(io + c) in
         if factor <> 0 then
-          for j = c to nc - 1 do
-            w.(i).(j) <- Gf2p.sub f w.(i).(j) (Gf2p.mul f factor w.(r).(j))
-          done
+          Kernel.axpy k ~a:factor ~x:w ~xoff:(ro + c) ~y:w ~yoff:(io + c) ~len:tail
       done)
     pivots
 
 let rank f a =
   let w = workspace a in
-  List.length (echelon f w)
+  List.length
+    (echelon (Kernel.of_field f) w ~nr:(Matrix.rows a) ~nc:(Matrix.cols a))
 
 let det f a =
   if Matrix.rows a <> Matrix.cols a then invalid_arg "Gauss.det: non-square";
@@ -74,93 +86,138 @@ let det f a =
   if n = 0 then 1
   else begin
     (* Track pivot values before normalisation: run elimination manually. *)
+    let k = Kernel.of_field f in
     let w = workspace a in
     let det = ref 1 in
     (try
        for c = 0 to n - 1 do
-         let pr = ref (-1) in
-         (try
-            for i = c to n - 1 do
-              if w.(i).(c) <> 0 then begin
-                pr := i;
-                raise Exit
-              end
-            done
-          with Exit -> ());
-         if !pr < 0 then begin
+         let pr = find_pivot w n n c c in
+         if pr < 0 then begin
            det := 0;
            raise Exit
          end;
-         if !pr <> c then begin
-           let tmp = w.(!pr) in
-           w.(!pr) <- w.(c);
-           w.(c) <- tmp
-           (* char 2: swapping rows does not change the determinant sign *)
-         end;
-         det := Gf2p.mul f !det w.(c).(c);
-         let inv_pivot = Gf2p.inv f w.(c).(c) in
+         (* char 2: swapping rows does not change the determinant sign *)
+         swap_rows w n pr c;
+         let co = c * n in
+         det := Kernel.mul k !det w.(co + c);
+         let inv_pivot = Kernel.inv k w.(co + c) in
+         let tail = n - c in
          for i = c + 1 to n - 1 do
-           let factor = Gf2p.mul f w.(i).(c) inv_pivot in
+           let io = i * n in
+           let factor = Kernel.mul k w.(io + c) inv_pivot in
            if factor <> 0 then
-             for j = c to n - 1 do
-               w.(i).(j) <- Gf2p.sub f w.(i).(j) (Gf2p.mul f factor w.(c).(j))
-             done
+             Kernel.axpy k ~a:factor ~x:w ~xoff:(co + c) ~y:w ~yoff:(io + c) ~len:tail
          done
        done
      with Exit -> ());
     !det
   end
 
-let is_invertible f a = Matrix.rows a = Matrix.cols a && det f a <> 0
+(* Rank-style elimination with an early exit: a square matrix is invertible
+   iff every column produces a pivot, so stop at the first column that
+   doesn't instead of finishing a full determinant elimination. *)
+let is_invertible f a =
+  Matrix.rows a = Matrix.cols a
+  &&
+  let n = Matrix.rows a in
+  n = 0
+  ||
+  let k = Kernel.of_field f in
+  let w = workspace a in
+  let rec go c =
+    c = n
+    ||
+    let pr = find_pivot w n n c c in
+    pr >= 0
+    && begin
+         swap_rows w n pr c;
+         let co = c * n in
+         let inv_pivot = Kernel.inv k w.(co + c) in
+         let tail = n - c in
+         for i = c + 1 to n - 1 do
+           let io = i * n in
+           let factor = Kernel.mul k w.(io + c) inv_pivot in
+           if factor <> 0 then
+             Kernel.axpy k ~a:factor ~x:w ~xoff:(co + c) ~y:w ~yoff:(io + c)
+               ~len:tail
+         done;
+         go (c + 1)
+       end
+  in
+  go 0
 
 let rref f a =
+  let nr = Matrix.rows a and nc = Matrix.cols a in
+  let k = Kernel.of_field f in
   let w = workspace a in
-  let pivots = echelon f w in
-  back_substitute f w pivots;
-  (Matrix.of_arrays w, List.map snd pivots)
+  let pivots = echelon k w ~nr ~nc in
+  back_substitute k w ~nc pivots;
+  (Matrix.of_raw ~rows:nr ~cols:nc w, List.map snd pivots)
 
 let inverse f a =
   let n = Matrix.rows a in
   if n <> Matrix.cols a then None
   else begin
-    let aug = Matrix.hcat a (Matrix.identity n) in
-    let w = workspace aug in
-    let pivots = echelon f w in
+    let k = Kernel.of_field f in
+    let nc = 2 * n in
+    (* Augment [A | I] directly in the flat workspace. *)
+    let w = Array.make (n * nc) 0 in
+    let araw = Matrix.raw a in
+    for i = 0 to n - 1 do
+      Array.blit araw (i * n) w (i * nc) n;
+      w.((i * nc) + n + i) <- 1
+    done;
+    let pivots = echelon k w ~nr:n ~nc in
     (* All n pivots must land in the A-half of the augmented matrix. *)
     if List.length (List.filter (fun (_, c) -> c < n) pivots) < n then None
     else begin
-      back_substitute f w pivots;
-      Some (Matrix.sub_matrix (Matrix.of_arrays w) ~row:0 ~col:n ~rows:n ~cols:n)
+      back_substitute k w ~nc pivots;
+      let out = Array.make (n * n) 0 in
+      for i = 0 to n - 1 do
+        Array.blit w ((i * nc) + n) out (i * n) n
+      done;
+      Some (Matrix.of_raw ~rows:n ~cols:n out)
     end
   end
 
 let solve f a b =
   if Array.length b <> Matrix.rows a then invalid_arg "Gauss.solve: shape mismatch";
-  let aug = Matrix.hcat a (Matrix.init (Matrix.rows a) 1 (fun i _ -> b.(i))) in
-  let w = workspace aug in
-  let pivots = echelon f w in
-  let nc = Matrix.cols a in
-  if List.exists (fun (_, c) -> c = nc) pivots then None
+  let nr = Matrix.rows a and n = Matrix.cols a in
+  let k = Kernel.of_field f in
+  let nc = n + 1 in
+  let w = Array.make (nr * nc) 0 in
+  let araw = Matrix.raw a in
+  for i = 0 to nr - 1 do
+    Array.blit araw (i * n) w (i * nc) n;
+    w.((i * nc) + n) <- b.(i)
+  done;
+  let pivots = echelon k w ~nr ~nc in
+  if List.exists (fun (_, c) -> c = n) pivots then None
   else begin
-    back_substitute f w pivots;
-    let x = Array.make nc 0 in
-    List.iter (fun (r, c) -> x.(c) <- w.(r).(nc)) pivots;
+    back_substitute k w ~nc pivots;
+    let x = Array.make n 0 in
+    List.iter (fun (r, c) -> x.(c) <- w.((r * nc) + n)) pivots;
     Some x
   end
 
 let kernel_basis f a =
+  let nr = Matrix.rows a and nc = Matrix.cols a in
+  let k = Kernel.of_field f in
   let w = workspace a in
-  let pivots = echelon f w in
-  back_substitute f w pivots;
-  let nc = Matrix.cols a in
-  let pivot_cols = List.map snd pivots in
-  let free_cols = List.filter (fun c -> not (List.mem c pivot_cols)) (List.init nc Fun.id) in
-  List.map
+  let pivots = echelon k w ~nr ~nc in
+  back_substitute k w ~nc pivots;
+  (* O(1) pivot-column membership instead of a List.mem scan per column. *)
+  let is_pivot = Array.make nc false in
+  List.iter (fun (_, c) -> is_pivot.(c) <- true) pivots;
+  List.filter_map
     (fun fc ->
-      let x = Array.make nc 0 in
-      x.(fc) <- 1;
-      List.iter (fun (r, c) -> x.(c) <- w.(r).(fc) (* -w = w in char 2 *)) pivots;
-      x)
-    free_cols
+      if is_pivot.(fc) then None
+      else begin
+        let x = Array.make nc 0 in
+        x.(fc) <- 1;
+        List.iter (fun (r, c) -> x.(c) <- w.((r * nc) + fc) (* -w = w in char 2 *)) pivots;
+        Some x
+      end)
+    (List.init nc Fun.id)
 
 let has_invertible_submatrix f a = rank f a = Matrix.rows a

@@ -32,6 +32,13 @@ let of_arrays rows =
     rows;
   init nr nc (fun i j -> rows.(i).(j))
 
+let raw a = a.data
+
+let of_raw ~rows ~cols data =
+  if rows < 0 || cols < 0 || Array.length data <> rows * cols then
+    invalid_arg "Matrix.of_raw: length mismatch";
+  { nr = rows; nc = cols; data }
+
 let to_arrays a = Array.init a.nr (fun i -> Array.sub a.data (i * a.nc) a.nc)
 let row a i = Array.sub a.data (i * a.nc) a.nc
 let col a j = Array.init a.nr (fun i -> get a i j)
@@ -45,40 +52,30 @@ let add f a b =
 
 let mul f a b =
   if a.nc <> b.nr then invalid_arg "Matrix.mul: shape mismatch";
+  let k = Kernel.of_field f in
   let c = Array.make (a.nr * b.nc) 0 in
   for i = 0 to a.nr - 1 do
-    for k = 0 to a.nc - 1 do
-      let aik = a.data.((i * a.nc) + k) in
-      if aik <> 0 then
-        for j = 0 to b.nc - 1 do
-          let idx = (i * b.nc) + j in
-          c.(idx) <- Gf2p.add f c.(idx) (Gf2p.mul f aik b.data.((k * b.nc) + j))
-        done
-    done
+    Kernel.mul_row_matrix k ~x:a.data ~xoff:(i * a.nc) ~rows:a.nc ~b:b.data ~boff:0
+      ~cols:b.nc ~y:c ~yoff:(i * b.nc)
   done;
   { nr = a.nr; nc = b.nc; data = c }
 
-let scale f s a = { a with data = Array.map (fun x -> Gf2p.mul f s x) a.data }
+let scale f s a =
+  let data = Array.copy a.data in
+  Kernel.scal_row (Kernel.of_field f) ~a:s ~x:data;
+  { a with data }
 
 let vec_mul f x a =
   if Array.length x <> a.nr then invalid_arg "Matrix.vec_mul: shape mismatch";
   let y = Array.make a.nc 0 in
-  for i = 0 to a.nr - 1 do
-    if x.(i) <> 0 then
-      for j = 0 to a.nc - 1 do
-        y.(j) <- Gf2p.add f y.(j) (Gf2p.mul f x.(i) a.data.((i * a.nc) + j))
-      done
-  done;
+  Kernel.mul_row_matrix (Kernel.of_field f) ~x ~xoff:0 ~rows:a.nr ~b:a.data ~boff:0
+    ~cols:a.nc ~y ~yoff:0;
   y
 
 let mul_vec f a x =
   if Array.length x <> a.nc then invalid_arg "Matrix.mul_vec: shape mismatch";
-  Array.init a.nr (fun i ->
-      let acc = ref 0 in
-      for j = 0 to a.nc - 1 do
-        acc := Gf2p.add f !acc (Gf2p.mul f a.data.((i * a.nc) + j) x.(j))
-      done;
-      !acc)
+  let k = Kernel.of_field f in
+  Array.init a.nr (fun i -> Kernel.dot k ~x:a.data ~xoff:(i * a.nc) ~y:x ~yoff:0 ~len:a.nc)
 
 let hcat a b =
   if a.nr <> b.nr then invalid_arg "Matrix.hcat: row mismatch";

@@ -20,6 +20,17 @@ val set : t -> int -> int -> int -> t
 val of_arrays : int array array -> t
 (** Copies; raises [Invalid_argument] on ragged input. *)
 
+val raw : t -> int array
+(** The underlying row-major buffer, {e not} a copy — the zero-copy entry
+    point for {!Nab_field.Kernel} consumers. Callers must treat it as
+    read-only; mutating it breaks the immutability contract of every
+    matrix sharing the buffer. *)
+
+val of_raw : rows:int -> cols:int -> int array -> t
+(** Wrap a row-major buffer of exactly [rows * cols] entries without
+    copying. Ownership transfers: the caller must not retain or mutate the
+    buffer afterwards. Raises [Invalid_argument] on a length mismatch. *)
+
 val to_arrays : t -> int array array
 val row : t -> int -> int array
 val col : t -> int -> int array
