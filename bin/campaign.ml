@@ -1,0 +1,317 @@
+(* Campaign driver: declarative scenario campaigns over the NAB protocol
+   with parallel execution, JSONL result artifacts, baseline diffing and
+   failing-case shrinking. See EXPERIMENTS.md ("Campaigns") for recipes. *)
+
+open Cmdliner
+open Nab_exp
+
+let jobs_arg =
+  let doc =
+    "Worker domains for scenario execution and the analytical sweeps. \
+     Overrides NAB_JOBS; 0 keeps the default. Results are byte-identical \
+     at any job count."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
+let jobs_term =
+  Term.(const (fun jobs -> if jobs > 0 then Nab_util.Pool.set_jobs jobs) $ jobs_arg)
+
+let with_jobs term = Term.(const (fun () r -> r) $ jobs_term $ term)
+
+(* ---- campaign selection (shared by run/list) ---- *)
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"The built-in deterministic campaign (default).")
+
+let soak_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "soak" ] ~docv:"TRIALS" ~doc:"A randomized soak campaign of $(docv) scenarios.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Soak sampler seed.")
+
+let scenarios_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenarios" ] ~docv:"FILE"
+        ~doc:"Run the scenarios of a JSON file (one Scenario.to_json object per line).")
+
+let select quick soak seed scenarios_file =
+  match scenarios_file with
+  | Some path ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> List.rev acc
+            | "" -> go (lineno + 1) acc
+            | line -> (
+                match Scenario.of_string line with
+                | Ok s -> go (lineno + 1) (s :: acc)
+                | Error e -> failwith (Printf.sprintf "%s:%d: %s" path lineno e))
+          in
+          go 1 [])
+  | None -> (
+      ignore quick;
+      match soak with
+      | Some trials -> Campaigns.soak ~trials ~seed
+      | None -> Campaigns.quick ())
+
+(* ---- run ---- *)
+
+let print_failure oc (row : Runner.row) =
+  let s = row.Runner.scenario in
+  (match row.Runner.outcome with
+  | Runner.Error e -> Printf.fprintf oc "ERROR %s: %s\n" s.Scenario.id e
+  | _ ->
+      List.iter
+        (fun (c : Checker.outcome) ->
+          if not c.Checker.ok then
+            Printf.fprintf oc "FAIL %s [%s]: %s\n" s.Scenario.id c.Checker.name
+              c.Checker.detail)
+        row.Runner.checks);
+  Printf.fprintf oc "  repro: dune exec bin/campaign.exe -- shrink RESULTS.jsonl --id '%s'\n"
+    s.Scenario.id;
+  match Shrink.cli_command s ~graph_file:"network.graph" with
+  | Some cmd ->
+      Printf.fprintf oc "  rerun (after `campaign.exe export-graph`, or from the repro dir): %s\n" cmd
+  | None -> ()
+
+let run_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the JSONL results here ('-' = stdout).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Diff the results against this committed baseline; differences fail the run.")
+  in
+  let shrink_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shrink-dir" ] ~docv:"DIR"
+          ~doc:"Shrink each violation to a minimal reproducer under $(docv)/ID/.")
+  in
+  let run quick soak seed scenarios_file out baseline shrink_dir =
+    let scenarios = select quick soak seed scenarios_file in
+    Printf.eprintf "campaign: %d scenarios (%d jobs)\n%!" (List.length scenarios)
+      (Nab_util.Pool.jobs ());
+    let rows =
+      Runner.run_campaign
+        ~on_row:(fun i row ->
+          Printf.eprintf "[%d/%d] %s %s\n%!" (i + 1) (List.length scenarios)
+            (match row.Runner.outcome with
+            | Runner.Pass -> "ok  "
+            | Runner.Violation -> "FAIL"
+            | Runner.Error _ -> "ERR ")
+            row.Runner.scenario.Scenario.id)
+        scenarios
+    in
+    (if out = "-" then Runner.write_jsonl stdout rows
+     else
+       let oc = open_out out in
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Runner.write_jsonl oc rows));
+    let bad = Runner.violations rows in
+    List.iter (print_failure stderr) bad;
+    (match shrink_dir with
+    | Some dir ->
+        List.iter
+          (fun (row : Runner.row) ->
+            match Shrink.shrink row.Runner.scenario with
+            | None -> ()
+            | Some r ->
+                let sub = Filename.concat dir r.Shrink.original.Scenario.id in
+                let sub = String.map (fun c -> if c = '/' then '_' else c) sub in
+                let files = Shrink.write_repro ~dir:sub r in
+                Printf.eprintf "shrunk %s -> %s (key %s, %d runs): %s\n%!"
+                  r.Shrink.original.Scenario.id r.Shrink.minimized.Scenario.id r.Shrink.key
+                  r.Shrink.runs (String.concat ", " files))
+          bad
+    | None -> ());
+    let base_ok =
+      match baseline with
+      | None -> true
+      | Some path -> (
+          match Runner.read_jsonl path with
+          | Error e ->
+              Printf.eprintf "cannot read baseline: %s\n" e;
+              false
+          | Ok base ->
+              let d = Runner.diff_rows ~baseline:base ~current:rows in
+              if Runner.diff_is_empty d then begin
+                Printf.eprintf "baseline: %d rows, no differences\n" (List.length base);
+                true
+              end
+              else begin
+                Format.eprintf "baseline differences:@.%a" Runner.pp_diff d;
+                false
+              end)
+    in
+    Printf.eprintf "campaign: %d scenarios, %d violations/errors\n%!" (List.length rows)
+      (List.length bad);
+    if bad = [] && base_ok then 0 else 1
+  in
+  let term =
+    with_jobs
+      Term.(
+        const run $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ out_arg
+        $ baseline_arg $ shrink_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a campaign, stream JSONL results, gate on oracle violations.")
+    term
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let list quick soak seed scenarios_file =
+    List.iter
+      (fun (s : Scenario.t) -> print_endline s.Scenario.id)
+      (select quick soak seed scenarios_file);
+    0
+  in
+  let term =
+    Term.(const list $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Print the scenario ids of a campaign.") term
+
+(* ---- diff ---- *)
+
+let diff_cmd =
+  let current_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CURRENT" ~doc:"Result JSONL.")
+  in
+  let baseline_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"BASELINE" ~doc:"Baseline JSONL.")
+  in
+  let diff current baseline =
+    match (Runner.read_jsonl current, Runner.read_jsonl baseline) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        2
+    | Ok cur, Ok base ->
+        let d = Runner.diff_rows ~baseline:base ~current:cur in
+        Format.printf "%a" Runner.pp_diff d;
+        if Runner.diff_is_empty d then 0 else 1
+  in
+  let term = Term.(const diff $ current_arg $ baseline_arg) in
+  Cmd.v (Cmd.info "diff" ~doc:"Compare two result files by scenario id.") term
+
+(* ---- shrink ---- *)
+
+let shrink_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A result JSONL, or a single scenario JSON file.")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Which row of a result file to shrink (default: first failing).")
+  in
+  let out_arg =
+    Arg.(value & opt string "repro" & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Repro bundle directory.")
+  in
+  let max_runs_arg =
+    Arg.(value & opt int 400 & info [ "max-runs" ] ~docv:"N" ~doc:"Budget of candidate executions.")
+  in
+  let shrink file id out max_runs =
+    let scenario =
+      if Filename.check_suffix file ".jsonl" then
+        match Runner.read_jsonl file with
+        | Error e -> failwith e
+        | Ok rows -> (
+            let pick =
+              match id with
+              | Some id ->
+                  List.find_opt (fun (r : Runner.row) -> r.Runner.scenario.Scenario.id = id) rows
+              | None ->
+                  List.find_opt (fun (r : Runner.row) -> r.Runner.outcome <> Runner.Pass) rows
+            in
+            match pick with
+            | Some r -> r.Runner.scenario
+            | None -> failwith "no matching (failing) row in the result file")
+      else
+        let ic = open_in file in
+        let content =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Scenario.of_string content with Ok s -> s | Error e -> failwith e
+    in
+    match Shrink.shrink ~max_runs scenario with
+    | None ->
+        Printf.printf "scenario %s passes every check; nothing to shrink\n"
+          scenario.Scenario.id;
+        2
+    | Some r ->
+        let files = Shrink.write_repro ~dir:out r in
+        Printf.printf "violation key: %s\nminimized: %s (%d runs)\nwrote:\n" r.Shrink.key
+          r.Shrink.minimized.Scenario.id r.Shrink.runs;
+        List.iter (fun f -> Printf.printf "  %s\n" f) files;
+        (match
+           Shrink.cli_command r.Shrink.minimized
+             ~graph_file:(Filename.concat out "network.graph")
+         with
+        | Some cmd -> Printf.printf "replay: %s\n" cmd
+        | None ->
+            Printf.printf "replay: %s\n"
+              (Shrink.replay_command ~scenario_file:(Filename.concat out "scenario.json")));
+        0
+  in
+  let term = with_jobs Term.(const shrink $ file_arg $ id_arg $ out_arg $ max_runs_arg) in
+  Cmd.v
+    (Cmd.info "shrink" ~doc:"Minimize a failing scenario to a self-contained reproducer.")
+    term
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Scenario JSON file.")
+  in
+  let replay file =
+    let ic = open_in file in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Scenario.of_string content with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok s -> (
+        let row = Runner.run_scenario s in
+        Printf.printf "scenario: %s\n" s.Scenario.id;
+        match row.Runner.outcome with
+        | Runner.Pass ->
+            List.iter
+              (fun (c : Checker.outcome) ->
+                Printf.printf "PASS %s — %s\n" c.Checker.name c.Checker.detail)
+              row.Runner.checks;
+            0
+        | _ ->
+            print_failure stdout row;
+            1)
+  in
+  let term = with_jobs Term.(const replay $ file_arg) in
+  Cmd.v (Cmd.info "replay" ~doc:"Run a single scenario JSON file and report its checks.") term
+
+let () =
+  let doc = "NAB scenario campaigns: run, diff, shrink, replay" in
+  let info = Cmd.info "campaign" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; list_cmd; diff_cmd; shrink_cmd; replay_cmd ]))

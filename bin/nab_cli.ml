@@ -111,12 +111,20 @@ let with_obs ~trace ~metrics ~sample f =
 
 (* ---- run ---- *)
 
+let lookup_adversary name =
+  match Adversary.find name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "unknown adversary %S" name)
+
 let run_cmd =
   let adversary_arg =
     let names = String.concat ", " (List.map fst Adversary.all) in
     Arg.(
       value & opt string "none"
-      & info [ "adversary"; "a" ] ~docv:"ADV" ~doc:("Adversary strategy: " ^ names ^ "."))
+      & info [ "adversary"; "a" ] ~docv:"ADV"
+          ~doc:
+            ("Adversary strategy: " ^ names
+           ^ " - or chaos:SEED / garbage:SEED for other seeds."))
   in
   let q_arg = Arg.(value & opt int 8 & info [ "q" ] ~docv:"Q" ~doc:"Instances to run.") in
   let l_arg =
@@ -132,16 +140,18 @@ let run_cmd =
       & info [ "flag-backend" ] ~docv:"BB"
           ~doc:"Broadcast_Default backend for the step-2.2 flags.")
   in
-  let run family n cap f seed adversary q l verbose backend trace metrics sample json
+  let m_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "m" ] ~docv:"M"
+          ~doc:"Equality-check field degree (GF(2^M) symbol width), 1-61.")
+  in
+  let run family n cap f seed adversary q l m verbose backend trace metrics sample json
       =
     setup_logs ();
     let g = make_graph family n cap seed in
-    let adv =
-      match List.assoc_opt adversary Adversary.all with
-      | Some a -> a
-      | None -> invalid_arg (Printf.sprintf "unknown adversary %S" adversary)
-    in
-    let config = Nab.config ~f ~l_bits:l ~seed ~flag_backend:backend () in
+    let adv = lookup_adversary adversary in
+    let config = Nab.config ~f ~l_bits:l ~m ~seed ~flag_backend:backend () in
     let rng = Random.State.make [| seed; 0x1ca11 |] in
     let tbl = Hashtbl.create 16 in
     let inputs k =
@@ -191,7 +201,7 @@ let run_cmd =
     with_jobs
       Term.(
         const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg
-        $ q_arg $ l_arg $ verbose_arg $ backend_arg $ trace_arg $ metrics_arg
+        $ q_arg $ l_arg $ m_arg $ verbose_arg $ backend_arg $ trace_arg $ metrics_arg
         $ sample_arg $ json_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run Q instances of NAB under an adversary.") term
@@ -291,11 +301,7 @@ let consensus_cmd =
   let run family n cap f seed adversary l =
     setup_logs ();
     let g = make_graph family n cap seed in
-    let adv =
-      match List.assoc_opt adversary Adversary.all with
-      | Some a -> a
-      | None -> invalid_arg (Printf.sprintf "unknown adversary %S" adversary)
-    in
+    let adv = lookup_adversary adversary in
     let config = Nab.config ~f ~l_bits:l ~seed () in
     (* A realistic vote: honest proposers agree on the payload, the last
        node proposes something else. *)

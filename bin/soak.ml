@@ -5,12 +5,38 @@
 
      dune exec bin/soak.exe -- [trials] [base-seed]
 
-   exits non-zero on the first invariant violation. *)
+   exits non-zero on the first invariant violation.
 
-open Nab_graph
-open Nab_core
+   This is a thin wrapper over the Nab_exp campaign subsystem: the sampled
+   configuration space lives in Nab_exp.Scenario.sample, the invariants in
+   Nab_exp.Checker, and every failure is dumped as a replayable scenario
+   bundle with its exact repro commands. For richer campaigns (baselines,
+   diffing, shrinking) use bin/campaign.exe. *)
+
+open Nab_exp
+module Json = Nab_obs.Json
 
 type outcome = { runs : int; dc_total : int; disputes_total : int }
+
+let stat_int (row : Runner.row) key =
+  match List.assoc_opt key row.Runner.stats with Some (Json.Int i) -> i | _ -> 0
+
+let dump_failure idx (row : Runner.row) =
+  let s = row.Runner.scenario in
+  let dir = Printf.sprintf "soak-failure-%d" idx in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let scenario_file = Filename.concat dir "scenario.json" in
+  let graph_file = Filename.concat dir "network.graph" in
+  let oc = open_out scenario_file in
+  output_string oc (Json.to_string (Scenario.to_json s) ^ "\n");
+  close_out oc;
+  Nab_graph.Graphfile.write_file graph_file (Scenario.graph s);
+  Printf.printf "  scenario: %s\n" scenario_file;
+  Printf.printf "  replay:   %s\n" (Shrink.replay_command ~scenario_file);
+  (match Shrink.cli_command s ~graph_file with
+  | Some cmd -> Printf.printf "  rerun:    %s\n" cmd
+  | None -> ());
+  Printf.printf "  shrink:   dune exec bin/campaign.exe -- shrink %s\n%!" scenario_file
 
 let () =
   let trials =
@@ -19,76 +45,43 @@ let () =
   let base_seed =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
   in
-  let rng = Random.State.make [| base_seed; 0x50a6 |] in
-  let tally : (string, outcome) Hashtbl.t = Hashtbl.create 16 in
-  let record name dc disputes =
-    let o =
-      try Hashtbl.find tally name
-      with Not_found -> { runs = 0; dc_total = 0; disputes_total = 0 }
-    in
-    Hashtbl.replace tally name
-      {
-        runs = o.runs + 1;
-        dc_total = o.dc_total + dc;
-        disputes_total = o.disputes_total + disputes;
-      }
-  in
-  let failures = ref 0 in
   Printf.printf "soak: %d trials (base seed %d)\n%!" trials base_seed;
-  for trial = 1 to trials do
-    (* Sample a configuration. *)
-    let f = if Random.State.int rng 4 = 0 then 2 else 1 in
-    let n = (3 * f) + 1 + Random.State.int rng 3 in
-    let gseed = Random.State.int rng 100_000 in
-    let g =
-      if Random.State.bool rng then Gen.complete ~n ~cap:(1 + Random.State.int rng 3)
-      else
-        Gen.random_bb_feasible ~n ~f ~p:0.85 ~min_cap:1 ~max_cap:4 ~seed:gseed
-    in
-    let name, adversary =
-      if Random.State.int rng 3 = 0 then
-        let s = Random.State.int rng 100_000 in
-        (Printf.sprintf "chaos"), Adversary.chaos ~seed:s
-      else List.nth Adversary.all (Random.State.int rng (List.length Adversary.all))
-    in
-    let l = 64 * (1 + Random.State.int rng 4) in
-    let q = 2 + Random.State.int rng 4 in
-    let config =
-      Nab.config ~f ~l_bits:l ~m:8 ~seed:(Random.State.int rng 9999) ()
-    in
-    let irng = Random.State.make [| gseed; trial |] in
-    let cache = Hashtbl.create 8 in
-    let inputs k =
-      match Hashtbl.find_opt cache k with
-      | Some v -> v
-      | None ->
-          let v = Bitvec.random l irng in
-          Hashtbl.add cache k v;
-          v
-    in
-    (try
-       let report = Nab.run ~g ~config ~adversary ~inputs ~q () in
-       let ok =
-         Nab.fault_free_agree report
-         && Nab.valid_outputs report ~inputs
-         && report.Nab.dc_count <= f * (f + 1)
-         && List.for_all
-              (fun v ->
-                Vset.mem v report.Nab.faulty
-                || Digraph.mem_vertex report.Nab.final_graph v)
-              (Digraph.vertices g)
-       in
-       if not ok then begin
-         incr failures;
-         Printf.printf "FAIL trial %d: n=%d f=%d adv=%s gseed=%d L=%d q=%d\n%!" trial n
-           f name gseed l q
-       end
-       else record name report.Nab.dc_count (List.length report.Nab.disputes)
-     with e ->
-       incr failures;
-       Printf.printf "ERROR trial %d (n=%d f=%d adv=%s gseed=%d): %s\n%!" trial n f name
-         gseed (Printexc.to_string e))
-  done;
+  let scenarios = Campaigns.soak ~trials ~seed:base_seed in
+  let failures = ref 0 in
+  let tally : (string, outcome) Hashtbl.t = Hashtbl.create 16 in
+  let rows =
+    Runner.run_campaign
+      ~on_row:(fun i row ->
+        let s = row.Runner.scenario in
+        match row.Runner.outcome with
+        | Runner.Pass ->
+            let name = s.Scenario.adversary.Scenario.adv in
+            let o =
+              try Hashtbl.find tally name
+              with Not_found -> { runs = 0; dc_total = 0; disputes_total = 0 }
+            in
+            Hashtbl.replace tally name
+              {
+                runs = o.runs + 1;
+                dc_total = o.dc_total + stat_int row "dc_count";
+                disputes_total = o.disputes_total + stat_int row "disputes";
+              }
+        | Runner.Violation ->
+            incr failures;
+            Printf.printf "FAIL trial %d: %s\n" (i + 1) s.Scenario.id;
+            List.iter
+              (fun (c : Checker.outcome) ->
+                if not c.Checker.ok then
+                  Printf.printf "  [%s] %s\n" c.Checker.name c.Checker.detail)
+              row.Runner.checks;
+            dump_failure (i + 1) row
+        | Runner.Error e ->
+            incr failures;
+            Printf.printf "ERROR trial %d: %s: %s\n" (i + 1) s.Scenario.id e;
+            dump_failure (i + 1) row)
+      scenarios
+  in
+  ignore rows;
   Printf.printf "\n%-20s %6s %6s %9s\n" "adversary" "runs" "DCs" "disputes";
   print_endline (String.make 44 '-');
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []

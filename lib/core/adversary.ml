@@ -347,3 +347,39 @@ let all =
     ("chaos", chaos ~seed:42);
     ("adaptive-ec-liar", { ec_liar with name = "adaptive-ec-liar"; pick_faulty = adaptive });
   ]
+
+let find name =
+  match List.assoc_opt name all with
+  | Some _ as a -> a
+  | None -> (
+      (* "chaos:SEED" / "garbage:SEED": the seeded randomized strategies. *)
+      match String.index_opt name ':' with
+      | None -> None
+      | Some i -> (
+          let base = String.sub name 0 i in
+          let arg = String.sub name (i + 1) (String.length name - i - 1) in
+          match (base, int_of_string_opt arg) with
+          | "chaos", Some seed -> Some { (chaos ~seed) with name }
+          | "garbage", Some seed -> Some { (garbage ~seed) with name }
+          | _ -> None))
+
+let hook_names =
+  [ "phase1"; "ec"; "flag-eig"; "dc-claims"; "dc-input"; "dc-eig"; "reliable" ]
+
+let with_disabled_hooks disabled t =
+  List.iter
+    (fun h ->
+      if not (List.mem h hook_names) then
+        invalid_arg (Printf.sprintf "Adversary.with_disabled_hooks: unknown hook %S" h))
+    disabled;
+  let off h = List.mem h disabled in
+  {
+    t with
+    phase1 = (if off "phase1" then fun _ -> Phase1.honest else t.phase1);
+    ec = (if off "ec" then fun _ -> Equality_check.honest else t.ec);
+    flag_eig = (if off "flag-eig" then fun _ -> Eig.honest else t.flag_eig);
+    dc_claims = (if off "dc-claims" then fun _ -> Dispute.honest_claims_adv else t.dc_claims);
+    dc_input = (if off "dc-input" then fun _ -> None else t.dc_input);
+    dc_eig = (if off "dc-eig" then fun _ -> Eig.honest else t.dc_eig);
+    reliable = (if off "reliable" then fun _ -> Reliable.honest_hooks else t.reliable);
+  }

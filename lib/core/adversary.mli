@@ -97,3 +97,21 @@ val chaos : seed:int -> t
 
 val all : (string * t) list
 (** The zoo, for table-driven tests and benchmarks ([garbage] at seed 42). *)
+
+val find : string -> t option
+(** Resolve a strategy by name: the {!all} zoo, plus the seeded spellings
+    ["chaos:SEED"] and ["garbage:SEED"] (the returned strategy keeps the
+    full spelling as its [name], so reports stay self-describing). [None]
+    for anything else. *)
+
+val hook_names : string list
+(** The per-step deviation hooks of {!t}, by name: ["phase1"], ["ec"],
+    ["flag-eig"], ["dc-claims"], ["dc-input"], ["dc-eig"], ["reliable"]
+    (everything except [pick_faulty], which chooses the corrupted set rather
+    than a deviation). The vocabulary {!with_disabled_hooks} accepts. *)
+
+val with_disabled_hooks : string list -> t -> t
+(** Replace the named hooks with their honest behaviour, leaving the
+    corrupted-set choice and the other hooks untouched — how the campaign
+    shrinker minimizes an attack to the hooks that actually matter. Raises
+    [Invalid_argument] on a name outside {!hook_names}. *)

@@ -1,0 +1,69 @@
+(** Per-run oracles: the mechanical checks a campaign evaluates on every
+    scenario, each mapping a completed run to pass/fail plus a one-line
+    diagnostic. Scenarios name the oracles they want ({!Scenario.checks});
+    the first failing oracle is the run's {e violation key}, which is what
+    the shrinker preserves while minimizing.
+
+    Two tiers:
+    - the {e invariant} oracles ({!Scenario.invariant_checks}) hold for
+      every adversary and cost nothing beyond the run itself;
+    - the {e theorem} oracles re-derive the paper's analytical claims on the
+      scenario's network — Theorem 3's throughput/capacity ratio against the
+      {!Nab_core.Params.stars} bounds, the Theorem-2 cut witnesses via
+      {!Nab_core.Capacity.verify}, and the capacity-oblivious gap against a
+      measured {!Nab_classic.Oblivious} baseline. These enumerate the
+      Appendix-E graph family, so reserve them for paper-scale networks
+      (n up to ~8 at f = 1). *)
+
+open Nab_graph
+open Nab_core
+
+type ctx = {
+  scenario : Scenario.t;
+  g : Digraph.t;  (** the materialized G_1 *)
+  report : Nab.run_report;
+  inputs : int -> Bitvec.t;  (** the closure the run used *)
+}
+
+type outcome = { name : string; ok : bool; detail : string }
+(** [detail] is deterministic (no wall-clock, no addresses): it lands in
+    the JSONL result store and must be byte-stable across runs and job
+    counts. *)
+
+type oracle = ctx -> bool * string
+(** Evaluate one check; returns (ok, detail). *)
+
+val builtin : (string * oracle) list
+(** - ["agreement"]: all fault-free nodes decided identically in every
+      instance ({!Nab_core.Nab.fault_free_agree}).
+    - ["validity"]: fault-free-source instances decide the input.
+    - ["dc-budget"]: dispute control fired at most f(f+1) times.
+    - ["honest-present"]: no fault-free node was ever excluded from G_k.
+    - ["theorem1-attempts"]: per instance, the observed number of
+      coding-matrix generation attempts is consistent with Theorem 1's
+      per-attempt failure bound p — when p <= 1/2, more than
+      [1 + log(1e-12)/log(p)] attempts would have probability below 1e-12
+      and flags a violation.
+    - ["theorem3-ratio"]: gamma', rho' and eq. (6) give
+      [throughput_lb / capacity_ub >= 1/3] — or >= 1/2 under the
+      half-capacity condition gamma' <= rho' — and
+      [throughput_lb <= capacity_ub].
+    - ["capacity-witness"]: the constructive Theorem-2 cut witnesses check
+      out against the bounds ({!Nab_core.Capacity.verify}).
+    - ["oblivious-gap"]: a capacity-oblivious EIG broadcast of the same
+      value measures at most the Theorem-2 capacity ceiling, and — when the
+      scenario sets [min_gap] — NAB's guaranteed rate beats the oblivious
+      baseline by at least that factor. *)
+
+val register : string -> oracle -> unit
+(** Extend the oracle vocabulary for this process (tests inject
+    deliberately-failing oracles to exercise the shrinker). Registered
+    names win over {!builtin}. *)
+
+val find : string -> oracle option
+
+val evaluate : ctx -> names:string list -> outcome list
+(** Run the named oracles in order. An unknown name yields a failing
+    outcome (detail ["unknown check"]) rather than an exception, so a
+    mistyped scenario surfaces as a violation, not a crash. An oracle that
+    raises also yields a failing outcome carrying the exception text. *)

@@ -1,0 +1,274 @@
+open Nab_graph
+open Nab_core
+module Json = Nab_obs.Json
+
+type outcome = Pass | Violation | Error of string
+
+type row = {
+  scenario : Scenario.t;
+  outcome : outcome;
+  checks : Checker.outcome list;
+  stats : (string * Json.t) list;
+}
+
+let stats_of ~g (report : Nab.run_report) =
+  let mismatches =
+    List.length (List.filter (fun (i : Nab.instance_report) -> i.Nab.mismatch) report.Nab.instances)
+  in
+  let attempts =
+    List.fold_left
+      (fun a (i : Nab.instance_report) -> a + i.Nab.coding_attempts)
+      0 report.Nab.instances
+  in
+  [
+    ("n", Json.Int (Digraph.num_vertices g));
+    ("edges", Json.Int (Digraph.num_edges g));
+    ("faulty", Json.List (List.map (fun v -> Json.Int v) (Vset.elements report.Nab.faulty)));
+    ("dc_count", Json.Int report.Nab.dc_count);
+    ("disputes", Json.Int (List.length report.Nab.disputes));
+    ("mismatches", Json.Int mismatches);
+    ("coding_attempts", Json.Int attempts);
+    ("throughput_wall", Json.float report.Nab.throughput_wall);
+    ("throughput_pipelined", Json.float report.Nab.throughput_pipelined);
+  ]
+
+let run_scenario scenario =
+  match
+    let g = Scenario.graph scenario in
+    let config = Scenario.config scenario in
+    let adversary = Scenario.adversary_t scenario in
+    let inputs = Scenario.inputs scenario in
+    let report = Nab.run ~g ~config ~adversary ~inputs ~q:scenario.Scenario.q () in
+    let ctx = { Checker.scenario; g; report; inputs } in
+    let checks = Checker.evaluate ctx ~names:scenario.Scenario.checks in
+    (g, report, checks)
+  with
+  | g, report, checks ->
+      let outcome =
+        if List.for_all (fun (c : Checker.outcome) -> c.Checker.ok) checks then Pass
+        else Violation
+      in
+      { scenario; outcome; checks; stats = stats_of ~g report }
+  | exception e -> { scenario; outcome = Error (Printexc.to_string e); checks = []; stats = [] }
+
+(* Fixed chunk size: the fan-out batches (and hence the order in which
+   [on_row] observes results) must not depend on the job count, or the
+   streamed artifact would not be byte-identical across --jobs values. *)
+let chunk_size = 8
+
+let rec take_drop k = function
+  | [] -> ([], [])
+  | l when k = 0 -> ([], l)
+  | x :: tl ->
+      let a, b = take_drop (k - 1) tl in
+      (x :: a, b)
+
+let run_campaign ?jobs ?(on_row = fun _ _ -> ()) scenarios =
+  let rec go i acc rest =
+    match rest with
+    | [] -> List.rev acc
+    | _ ->
+        let batch, rest = take_drop chunk_size rest in
+        let rows = Nab_util.Pool.map ?jobs run_scenario batch in
+        List.iteri (fun j row -> on_row (i + j) row) rows;
+        go (i + List.length rows) (List.rev_append rows acc) rest
+  in
+  go 0 [] scenarios
+
+let violations rows = List.filter (fun r -> r.outcome <> Pass) rows
+
+(* ---- JSONL ---- *)
+
+let outcome_string = function Pass -> "pass" | Violation -> "violation" | Error _ -> "error"
+
+let row_to_json r : Json.t =
+  Json.Obj
+    ([ ("id", Json.Str r.scenario.Scenario.id); ("outcome", Json.Str (outcome_string r.outcome)) ]
+    @ (match r.outcome with Error e -> [ ("error", Json.Str e) ] | _ -> [])
+    @ [
+        ( "checks",
+          Json.List
+            (List.map
+               (fun (c : Checker.outcome) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str c.Checker.name);
+                     ("ok", Json.Bool c.Checker.ok);
+                     ("detail", Json.Str c.Checker.detail);
+                   ])
+               r.checks) );
+        ("stats", Json.Obj r.stats);
+        ("scenario", Scenario.to_json r.scenario);
+      ])
+
+let ( let* ) = Result.bind
+
+let row_of_json j =
+  let str name obj =
+    match Json.member name obj with
+    | Some v -> (
+        match Json.get_string v with
+        | Some s -> Ok s
+        | None -> Result.Error (Printf.sprintf "field %S is not a string" name))
+    | None -> Result.Error (Printf.sprintf "missing field %S" name)
+  in
+  let* id = str "id" j in
+  let* outcome_s = str "outcome" j in
+  let* outcome =
+    match outcome_s with
+    | "pass" -> Ok Pass
+    | "violation" -> Ok Violation
+    | "error" ->
+        let* e = str "error" j in
+        Ok (Error e)
+    | other -> Result.Error (Printf.sprintf "unknown outcome %S" other)
+  in
+  let* checks_j =
+    match Json.member "checks" j with
+    | Some v -> (
+        match Json.get_list v with
+        | Some l -> Ok l
+        | None -> Result.Error "field \"checks\" is not a list")
+    | None -> Result.Error "missing field \"checks\""
+  in
+  let* checks =
+    List.fold_right
+      (fun c acc ->
+        let* acc = acc in
+        let* name = str "name" c in
+        let* detail = str "detail" c in
+        let* ok =
+          match Json.member "ok" c with
+          | Some v -> (
+              match Json.get_bool v with
+              | Some b -> Ok b
+              | None -> Result.Error "check \"ok\" is not a bool")
+          | None -> Result.Error "check missing \"ok\""
+        in
+        Ok ({ Checker.name; ok; detail } :: acc))
+      checks_j (Ok [])
+  in
+  let* stats =
+    match Json.member "stats" j with
+    | Some (Json.Obj fields) -> Ok fields
+    | Some _ -> Result.Error "field \"stats\" is not an object"
+    | None -> Result.Error "missing field \"stats\""
+  in
+  let* scenario_j =
+    match Json.member "scenario" j with
+    | Some v -> Ok v
+    | None -> Result.Error "missing field \"scenario\""
+  in
+  let* scenario = Scenario.of_json scenario_j in
+  if scenario.Scenario.id <> id then
+    Result.Error (Printf.sprintf "row id %S does not match its scenario id %S" id scenario.Scenario.id)
+  else Ok { scenario; outcome; checks; stats }
+
+let write_jsonl oc rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.clear buf;
+      Json.to_buffer buf (row_to_json r);
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf)
+    rows;
+  flush oc
+
+let read_jsonl path =
+  match open_in path with
+  | exception Sys_error e -> Result.Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | "" -> go (lineno + 1) acc
+            | line -> (
+                match
+                  let* j = Json.of_string line in
+                  row_of_json j
+                with
+                | Ok row -> go (lineno + 1) (row :: acc)
+                | Result.Error e -> Result.Error (Printf.sprintf "%s:%d: %s" path lineno e))
+          in
+          go 1 [])
+
+(* ---- diff ---- *)
+
+type diff = {
+  missing : string list;
+  added : string list;
+  changed : (string * string) list;
+}
+
+let diff_rows ~baseline ~current =
+  let index rows =
+    let tbl = Hashtbl.create (List.length rows) in
+    List.iter (fun r -> Hashtbl.replace tbl r.scenario.Scenario.id r) rows;
+    tbl
+  in
+  let base_tbl = index baseline and cur_tbl = index current in
+  let missing =
+    List.filter_map
+      (fun r ->
+        let id = r.scenario.Scenario.id in
+        if Hashtbl.mem cur_tbl id then None else Some id)
+      baseline
+  in
+  let added =
+    List.filter_map
+      (fun r ->
+        let id = r.scenario.Scenario.id in
+        if Hashtbl.mem base_tbl id then None else Some id)
+      current
+  in
+  let changed =
+    List.filter_map
+      (fun cur ->
+        let id = cur.scenario.Scenario.id in
+        match Hashtbl.find_opt base_tbl id with
+        | None -> None
+        | Some base ->
+            let part name f =
+              if f base = f cur then None
+              else
+                Some
+                  (Printf.sprintf "%s: %s -> %s" name
+                     (Json.to_string (f base))
+                     (Json.to_string (f cur)))
+            in
+            let reasons =
+              List.filter_map Fun.id
+                [
+                  part "outcome" (fun r ->
+                      Json.Str
+                        (outcome_string r.outcome
+                        ^ match r.outcome with Error e -> ": " ^ e | _ -> ""));
+                  part "checks" (fun r -> Json.List (List.map (fun (c : Checker.outcome) ->
+                      Json.Obj
+                        [
+                          ("name", Json.Str c.Checker.name);
+                          ("ok", Json.Bool c.Checker.ok);
+                          ("detail", Json.Str c.Checker.detail);
+                        ]) r.checks));
+                  part "stats" (fun r -> Json.Obj r.stats);
+                  part "scenario" (fun r -> Scenario.to_json r.scenario);
+                ]
+            in
+            if reasons = [] then None else Some (id, String.concat "; " reasons))
+      current
+  in
+  { missing; added; changed }
+
+let diff_is_empty d = d.missing = [] && d.added = [] && d.changed = []
+
+let pp_diff fmt d =
+  if diff_is_empty d then Format.fprintf fmt "no differences@."
+  else begin
+    List.iter (fun id -> Format.fprintf fmt "- %s (baseline only)@." id) d.missing;
+    List.iter (fun id -> Format.fprintf fmt "+ %s (current only)@." id) d.added;
+    List.iter (fun (id, why) -> Format.fprintf fmt "~ %s: %s@." id why) d.changed
+  end

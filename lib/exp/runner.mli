@@ -1,0 +1,80 @@
+(** Campaign execution: run scenarios (in parallel on {!Nab_util.Pool}),
+    fold each into a result row, and read/write/diff the JSONL result
+    store.
+
+    {2 Determinism}
+
+    A row is a pure function of its scenario: graph generation, the run,
+    the oracles and every recorded statistic are deterministic (simulated
+    time and bit counts only — no wall clock), and {!run_campaign} keys
+    results by input index with a fixed chunk size, so the JSONL artifact
+    is byte-identical at any job count. That is the property CI enforces by
+    diffing a [--jobs 4] run against [--jobs 1] and against the committed
+    [CAMPAIGN_baseline.jsonl].
+
+    {2 Result row schema (JSONL)}
+
+    One JSON object per scenario, keys in this order:
+    {v
+    {"id":STR,
+     "outcome":"pass"|"violation"|"error",
+     "error":STR,                    // only when outcome = "error"
+     "checks":[{"name":STR,"ok":BOOL,"detail":STR}..],
+     "stats":{"n":INT,"edges":INT,"faulty":[INT..],"dc_count":INT,
+              "disputes":INT,"mismatches":INT,"coding_attempts":INT,
+              "throughput_wall":NUM,"throughput_pipelined":NUM},
+     "scenario":{..}}                // the full Scenario.to_json record
+    v}
+    ["checks"]/["stats"] are empty when the run itself raised (outcome
+    ["error"]); non-finite throughputs encode as strings per
+    {!Nab_obs.Json}. *)
+
+type outcome = Pass | Violation | Error of string
+
+type row = {
+  scenario : Scenario.t;
+  outcome : outcome;
+  checks : Checker.outcome list;
+  stats : (string * Nab_obs.Json.t) list;
+}
+
+val run_scenario : Scenario.t -> row
+(** Materialize, run, evaluate the scenario's oracles. Never raises: an
+    exception from the run (e.g. an infeasible shrunk network) becomes
+    [Error] with the exception text. *)
+
+val run_campaign :
+  ?jobs:int -> ?on_row:(int -> row -> unit) -> Scenario.t list -> row list
+(** Run every scenario, fanning out over the pool in fixed chunks of 8 so
+    [on_row] (progress reporting, streaming writers) fires in input order
+    as chunks complete — results and callbacks are independent of [jobs]. *)
+
+val violations : row list -> row list
+(** Rows whose outcome is not [Pass]. *)
+
+(** {1 JSONL store} *)
+
+val row_to_json : row -> Nab_obs.Json.t
+val row_of_json : Nab_obs.Json.t -> (row, string) result
+
+val write_jsonl : out_channel -> row list -> unit
+(** One row per line, in order. *)
+
+val read_jsonl : string -> (row list, string) result
+(** Parse a result file; the error carries the 1-based line number. *)
+
+(** {1 Baseline diff} *)
+
+type diff = {
+  missing : string list;  (** ids in the baseline only *)
+  added : string list;  (** ids in the current run only *)
+  changed : (string * string) list;  (** id, what changed *)
+}
+
+val diff_rows : baseline:row list -> current:row list -> diff
+(** Match rows by scenario id (order-insensitive). A matched pair counts as
+    changed when any of outcome, checks, stats or the scenario record
+    itself differ; the description says which. *)
+
+val diff_is_empty : diff -> bool
+val pp_diff : Format.formatter -> diff -> unit

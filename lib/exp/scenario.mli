@@ -1,0 +1,158 @@
+(** Declarative experiment scenarios: one record that pins down an entire
+    NAB run — topology family, adversary, protocol configuration, seed and
+    the oracle checks to evaluate on it. Scenarios are data, not closures:
+    they encode losslessly to {!Nab_obs.Json} trees (the campaign result
+    store, baselines and shrinker repros are all scenario JSON), and the
+    grid/sampler combinators below build whole campaigns out of them.
+
+    Determinism: everything a scenario names is deterministic in its fields
+    — graph generation, adversary behaviour, the input values of every
+    instance. Two processes materializing the same scenario run the same
+    bits, which is what makes the JSONL result store diffable and the
+    shrinker's repros replayable.
+
+    The input derivation matches [nab_cli run] exactly (the RNG stream
+    seeded by [(seed, 0x1ca11)]), so any scenario without disabled adversary
+    hooks replays bit-for-bit under [nab_cli run -g @FILE ...] — see
+    {!Shrink.cli_command}. *)
+
+open Nab_graph
+open Nab_core
+
+(** Topology family: the {!Nab_graph.Gen} generators, reified so a scenario
+    can be stored, compared and shrunk. [Explicit] carries a concrete
+    vertex/edge list — what a scenario collapses to once the shrinker starts
+    deleting edges. *)
+type topo =
+  | Complete of { n : int; cap : int }
+  | Ring of { n : int; cap : int }
+  | Chords of { n : int; cap : int; chord_cap : int }
+  | Random_feasible of {
+      n : int;
+      f : int;
+      p : float;
+      min_cap : int;
+      max_cap : int;
+      gseed : int;
+    }
+  | Dumbbell of { clique : int; clique_cap : int; bridge_cap : int }
+  | Star_mesh of { n : int; spoke_cap : int; mesh_cap : int }
+  | Twin_cliques of { half : int; spoke_cap : int; intra_cap : int; cross_cap : int }
+  | Hypercube of { dims : int; cap : int }
+  | Torus of { rows : int; cols : int; cap : int }
+  | Fig1
+  | Fig2
+  | Explicit of { vertices : int list; edges : (int * int * int) list }
+
+type adversary_spec = { adv : string; disabled : string list }
+(** An adversary by name ({!Nab_core.Adversary.find} vocabulary, so
+    ["chaos:SEED"] works) with a set of deviation hooks forced back to
+    honest behaviour ({!Nab_core.Adversary.with_disabled_hooks}) — the
+    shrinker's knob for minimizing an attack. *)
+
+type t = {
+  id : string;  (** stable identifier; derived from the content by {!make} *)
+  topo : topo;
+  adversary : adversary_spec;
+  f : int;
+  l_bits : int;
+  m : int;
+  seed : int;  (** config seed; also derives the per-instance inputs *)
+  q : int;  (** instances to broadcast *)
+  flag_backend : [ `Eig | `Phase_king ];
+  checks : string list;  (** oracle names, evaluated in order (see {!Checker}) *)
+  min_gap : float option;
+      (** for the ["oblivious-gap"] oracle: require
+          [throughput_lb >= min_gap * oblivious_throughput] *)
+}
+
+val invariant_checks : string list
+(** The default oracle set: the protocol invariants every run must uphold
+    whatever the adversary — ["agreement"], ["validity"], ["dc-budget"],
+    ["honest-present"], ["theorem1-attempts"]. Cheap enough for sampled
+    soaking; the graph-level theorem oracles (see {!Checker}) are opted
+    into per scenario. *)
+
+val make :
+  ?id:string ->
+  ?adversary:string ->
+  ?disabled:string list ->
+  ?f:int ->
+  ?l_bits:int ->
+  ?m:int ->
+  ?seed:int ->
+  ?q:int ->
+  ?flag_backend:[ `Eig | `Phase_king ] ->
+  ?checks:string list ->
+  ?min_gap:float ->
+  topo ->
+  unit ->
+  t
+(** Defaults: adversary ["none"] with nothing disabled, f = 1, L = 256,
+    m = 16, seed = 7, q = 2, EIG flags, {!Checker.invariant_checks}. When
+    [id] is omitted it is derived from the content (see {!derive_id}), so
+    equal scenarios get equal ids. *)
+
+val derive_id : t -> string
+(** The canonical content-derived identifier; {!make} applies it, and the
+    shrinker re-applies it after every transformation. *)
+
+val graph : t -> Digraph.t
+(** Materialize the topology (deterministic; [Random_feasible] uses its own
+    [gseed], independent of the scenario seed). *)
+
+val config : t -> Nab.config
+val adversary_t : t -> Adversary.t
+(** Resolve the adversary spec; raises [Invalid_argument] on an unknown
+    name or hook. Consults {!register_adversary} entries before the
+    {!Nab_core.Adversary.find} zoo. *)
+
+val inputs : t -> int -> Bitvec.t
+(** The per-instance input values: instance k's L-bit input drawn from the
+    [(seed, 0x1ca11)] stream in first-call order — the same derivation as
+    [nab_cli run], so CLI replays are exact. Each partial application
+    [inputs s] is a fresh stream with its own memo; apply it once per run
+    and reuse the closure (as {!Nab.run} and validity checking expect). *)
+
+val explicit : t -> t
+(** Replace the topology by its materialized [Explicit] form (id
+    re-derived) — the first step of edge-level shrinking. *)
+
+val register_adversary : string -> Adversary.t -> unit
+(** Extend the adversary vocabulary for this process (test harnesses inject
+    deliberately-broken strategies this way). Registered names win over the
+    zoo; they are {e not} replayable in a fresh process, which is why only
+    tests use this. *)
+
+(** {1 JSON codec} *)
+
+val to_json : t -> Nab_obs.Json.t
+val of_json : Nab_obs.Json.t -> (t, string) result
+(** Lossless round-trip: [of_json (to_json s) = Ok s]. Every field is
+    type-checked; the error names the offending field. *)
+
+val of_string : string -> (t, string) result
+
+(** {1 Campaign combinators} *)
+
+val grid :
+  ?adversaries:string list ->
+  ?fs:int list ->
+  ?ls:int list ->
+  ?ms:int list ->
+  ?seeds:int list ->
+  ?qs:int list ->
+  ?flag_backends:[ `Eig | `Phase_king ] list ->
+  ?checks:string list ->
+  topo list ->
+  t list
+(** Cartesian product over every supplied axis (defaults are the {!make}
+    singletons), in lexicographic axis order: topo outermost, then
+    adversary, f, l, m, seed, q, backend. *)
+
+val sample : trials:int -> seed:int -> t list
+(** The randomized soak sampler, as data: [trials] scenarios drawn
+    deterministically from [seed] over the same configuration space the old
+    [bin/soak.ml] hand-rolled — f in {1, 2}, n in [3f+1, 3f+3], complete or
+    BB-feasible random topologies, the adversary zoo plus seeded chaos,
+    L in {64..256}, q in {2..5}. Checks: {!Checker.invariant_checks}. *)

@@ -1,0 +1,224 @@
+(* The campaign subsystem: scenario codec, deterministic parallel runs,
+   baseline diffing, and failing-case shrinking. *)
+
+open Nab_graph
+open Nab_core
+open Nab_exp
+module Json = Nab_obs.Json
+
+(* ---- scenario codec ---- *)
+
+let roundtrip s =
+  match Scenario.of_json (Scenario.to_json s) with
+  | Ok s' -> Alcotest.(check bool) ("roundtrip " ^ s.Scenario.id) true (s = s')
+  | Error e -> Alcotest.failf "roundtrip %s: %s" s.Scenario.id e
+
+let test_scenario_roundtrip () =
+  let open Scenario in
+  roundtrip (make (Complete { n = 4; cap = 2 }) ());
+  roundtrip
+    (make ~adversary:"chaos:99" ~disabled:[ "ec"; "phase1" ] ~f:2 ~l_bits:64 ~m:8
+       ~seed:17 ~q:5 ~flag_backend:`Phase_king
+       ~checks:[ "agreement"; "theorem3-ratio" ]
+       (Random_feasible { n = 7; f = 2; p = 0.7; min_cap = 1; max_cap = 4; gseed = 3 })
+       ());
+  roundtrip
+    (make ~min_gap:2.5 ~checks:[ "oblivious-gap" ]
+       (Explicit
+          {
+            vertices = [ 1; 2; 3; 4 ];
+            edges = [ (1, 2, 3); (2, 1, 3); (1, 3, 1); (3, 1, 1); (2, 4, 2); (4, 2, 2) ];
+          })
+       ());
+  List.iter roundtrip (Campaigns.quick ());
+  (* corrupt JSON is rejected with a field name, not an exception *)
+  match Scenario.of_string "{\"id\":\"x\"}" with
+  | Ok _ -> Alcotest.fail "accepted a scenario with no topo"
+  | Error _ -> ()
+
+let test_scenario_ids_unique () =
+  let ids = List.map (fun (s : Scenario.t) -> s.Scenario.id) (Campaigns.quick ()) in
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int) "quick campaign ids are unique" (List.length ids) (List.length sorted)
+
+let test_scenario_inputs_match_cli () =
+  (* Scenario.inputs must reproduce nab_cli's derivation exactly: the
+     (seed, 0x1ca11) stream, one fresh value per distinct instance in
+     first-call order. *)
+  let s = Scenario.make ~seed:123 ~l_bits:64 (Scenario.Complete { n = 4; cap = 2 }) () in
+  let rng = Random.State.make [| 123; 0x1ca11 |] in
+  let expect0 = Bitvec.random 64 rng in
+  let expect1 = Bitvec.random 64 rng in
+  let inputs = Scenario.inputs s in
+  Alcotest.(check bool) "instance 0" true (Bitvec.equal (inputs 0) expect0);
+  Alcotest.(check bool) "instance 1" true (Bitvec.equal (inputs 1) expect1);
+  Alcotest.(check bool) "instance 0 memoized" true (Bitvec.equal (inputs 0) expect0)
+
+(* ---- runner determinism ---- *)
+
+let jsonl rows =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Json.to_buffer buf (Runner.row_to_json r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let test_jobs_independent () =
+  let scenarios =
+    Scenario.grid
+      ~adversaries:[ "none"; "ec-liar"; "stealthy"; "chaos:7" ]
+      ~qs:[ 2 ]
+      [ Scenario.Complete { n = 4; cap = 2 }; Scenario.Chords { n = 6; cap = 2; chord_cap = 2 } ]
+  in
+  let one = Runner.run_campaign ~jobs:1 scenarios in
+  let four = Runner.run_campaign ~jobs:4 scenarios in
+  Alcotest.(check string) "jobs=1 and jobs=4 rows are byte-identical" (jsonl one) (jsonl four)
+
+let test_quick_matches_baseline () =
+  let rows = Runner.run_campaign (Campaigns.quick ()) in
+  let ic = open_in "../CAMPAIGN_baseline.jsonl" in
+  let committed =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string)
+    "quick campaign reproduces the committed CAMPAIGN_baseline.jsonl \
+     (regenerate with: dune exec bin/campaign.exe -- run --quick -o CAMPAIGN_baseline.jsonl)"
+    committed (jsonl rows);
+  match Runner.read_jsonl "../CAMPAIGN_baseline.jsonl" with
+  | Error e -> Alcotest.failf "baseline does not parse: %s" e
+  | Ok base ->
+      let d = Runner.diff_rows ~baseline:base ~current:rows in
+      Alcotest.(check bool) "diff_rows agrees" true (Runner.diff_is_empty d)
+
+let test_diff_detects_changes () =
+  let s1 = Scenario.make (Scenario.Complete { n = 4; cap = 2 }) () in
+  let s2 = Scenario.make ~adversary:"ec-liar" (Scenario.Complete { n = 4; cap = 2 }) () in
+  let rows = Runner.run_campaign ~jobs:1 [ s1; s2 ] in
+  let d = Runner.diff_rows ~baseline:rows ~current:rows in
+  Alcotest.(check bool) "self-diff empty" true (Runner.diff_is_empty d);
+  (match rows with
+  | [ r1; r2 ] ->
+      let d =
+        Runner.diff_rows ~baseline:[ r1; r2 ]
+          ~current:[ { r1 with Runner.outcome = Runner.Violation }; r2 ]
+      in
+      Alcotest.(check bool) "outcome flip detected" false (Runner.diff_is_empty d);
+      Alcotest.(check int) "exactly one change" 1 (List.length d.Runner.changed);
+      let d = Runner.diff_rows ~baseline:[ r1 ] ~current:[ r1; r2 ] in
+      Alcotest.(check (list string)) "added id" [ s2.Scenario.id ]
+        d.Runner.added;
+      let d = Runner.diff_rows ~baseline:[ r1; r2 ] ~current:[ r2 ] in
+      Alcotest.(check (list string)) "missing id" [ s1.Scenario.id ] d.Runner.missing
+  | _ -> Alcotest.fail "expected two rows");
+  (* an infeasible scenario becomes an Error row, never an exception *)
+  let bad =
+    Scenario.make ~f:2
+      (Scenario.Explicit { vertices = [ 1; 2; 3; 4 ]; edges = [ (1, 2, 1); (2, 1, 1) ] })
+      ()
+  in
+  match (Runner.run_scenario bad).Runner.outcome with
+  | Runner.Error _ -> ()
+  | _ -> Alcotest.fail "infeasible scenario should be an Error row"
+
+let test_unknown_check_is_violation () =
+  let s = Scenario.make ~checks:[ "agreement"; "no-such-oracle" ] (Scenario.Complete { n = 4; cap = 2 }) () in
+  let row = Runner.run_scenario s in
+  Alcotest.(check bool) "violation" true (row.Runner.outcome = Runner.Violation);
+  match List.find_opt (fun (c : Checker.outcome) -> c.Checker.name = "no-such-oracle") row.Runner.checks with
+  | Some c -> Alcotest.(check bool) "failed" false c.Checker.ok
+  | None -> Alcotest.fail "missing outcome for the unknown check"
+
+(* ---- shrinking an injected bug ---- *)
+
+(* A deliberately-wrong oracle: claims equality-check mismatches never
+   happen. Any lying adversary violates it, which gives the shrinker a real
+   violation to minimize without touching the protocol. *)
+let () =
+  Checker.register "test-no-mismatch" (fun ctx ->
+      let m =
+        List.exists
+          (fun (i : Nab.instance_report) -> i.Nab.mismatch)
+          ctx.Checker.report.Nab.instances
+      in
+      ((not m), if m then "observed an equality-check mismatch" else "no mismatches"))
+
+let test_shrink_injected_bug () =
+  let seeded =
+    Scenario.make ~adversary:"ec-liar" ~f:2 ~q:3
+      ~checks:("test-no-mismatch" :: Scenario.invariant_checks)
+      (Scenario.Complete { n = 7; cap = 1 })
+      ()
+  in
+  match Shrink.shrink seeded with
+  | None -> Alcotest.fail "seeded bug scenario did not fail"
+  | Some r ->
+      Alcotest.(check string) "violation key" "check:test-no-mismatch" r.Shrink.key;
+      let g = Scenario.graph r.Shrink.minimized in
+      Alcotest.(check bool)
+        (Printf.sprintf "minimized to n <= 6 (got %s, n=%d in %d runs)"
+           r.Shrink.minimized.Scenario.id (Digraph.num_vertices g) r.Shrink.runs)
+        true
+        (Digraph.num_vertices g <= 6);
+      Alcotest.(check int) "minimized f" 1 r.Shrink.minimized.Scenario.f;
+      (* the emitted reproducer replays the same violation *)
+      let row = Runner.run_scenario r.Shrink.minimized in
+      Alcotest.(check (option string)) "replay reproduces the key"
+        (Some r.Shrink.key) (Shrink.violation_key row);
+      (* and survives the JSON round-trip the repro bundle relies on *)
+      (match Scenario.of_json (Scenario.to_json r.Shrink.minimized) with
+      | Ok s ->
+          Alcotest.(check (option string)) "decoded reproducer replays too"
+            (Some r.Shrink.key)
+            (Shrink.violation_key (Runner.run_scenario s))
+      | Error e -> Alcotest.failf "minimized scenario does not round-trip: %s" e)
+
+let test_shrink_passes_is_none () =
+  let s = Scenario.make (Scenario.Complete { n = 4; cap = 2 }) () in
+  Alcotest.(check bool) "nothing to shrink" true (Shrink.shrink s = None)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_cli_command_shape () =
+  let s = Scenario.make ~adversary:"ec-liar" ~seed:11 (Scenario.Complete { n = 4; cap = 2 }) () in
+  (match Shrink.cli_command s ~graph_file:"net.graph" with
+  | Some cmd ->
+      Alcotest.(check bool) "mentions graph file" true (contains cmd "-g @net.graph");
+      Alcotest.(check bool) "mentions seed" true (contains cmd "--seed 11");
+      Alcotest.(check bool) "mentions adversary" true (contains cmd "-a ec-liar")
+  | None -> Alcotest.fail "zoo scenario should be CLI-expressible");
+  let hidden = Scenario.make ~adversary:"ec-liar" ~disabled:[ "ec" ] (Scenario.Complete { n = 4; cap = 2 }) () in
+  Alcotest.(check bool) "disabled hooks are not CLI-expressible" true
+    (Shrink.cli_command hidden ~graph_file:"net.graph" = None)
+
+let () =
+  Alcotest.run "exp"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_scenario_roundtrip;
+          Alcotest.test_case "quick ids unique" `Quick test_scenario_ids_unique;
+          Alcotest.test_case "inputs match nab_cli" `Quick test_scenario_inputs_match_cli;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "jobs-independent rows" `Quick test_jobs_independent;
+          Alcotest.test_case "quick matches committed baseline" `Quick
+            test_quick_matches_baseline;
+          Alcotest.test_case "diff detects changes" `Quick test_diff_detects_changes;
+          Alcotest.test_case "unknown check is a violation" `Quick
+            test_unknown_check_is_violation;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "injected bug shrinks to n<=6" `Quick test_shrink_injected_bug;
+          Alcotest.test_case "passing scenario" `Quick test_shrink_passes_is_none;
+          Alcotest.test_case "cli command" `Quick test_cli_command_shape;
+        ] );
+    ]

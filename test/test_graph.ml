@@ -485,6 +485,21 @@ let test_random_feasible =
       let g = Gen.random_bb_feasible ~n:5 ~f:1 ~p:0.8 ~min_cap:1 ~max_cap:3 ~seed in
       Connectivity.meets_requirement g ~f:1 && Digraph.is_strongly_connected g)
 
+(* The campaign samplers lean on random_bb_feasible producing networks with
+   vertex connectivity >= 2f+1 whatever the seed and density — check the
+   connectivity value itself, not just the packaged predicate, across both
+   fault budgets and a sparse edge probability. *)
+let test_random_feasible_connectivity =
+  qtest ~count:25 "random_bb_feasible is 2f+1-connected across seeds"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 1))
+    (fun (seed, fidx) ->
+      let f = 1 + fidx in
+      let n = (3 * f) + 1 + (seed mod 3) in
+      let g = Gen.random_bb_feasible ~n ~f ~p:0.5 ~min_cap:1 ~max_cap:4 ~seed in
+      Digraph.num_vertices g = n
+      && Connectivity.vertex_connectivity g >= (2 * f) + 1
+      && Connectivity.meets_requirement g ~f)
+
 let test_metrics () =
   let m = Metrics.compute (Gen.complete ~n:5 ~cap:3) in
   Alcotest.(check int) "nodes" 5 m.Metrics.nodes;
@@ -585,6 +600,7 @@ let () =
           Alcotest.test_case "hypercube and torus" `Quick test_hypercube_torus;
           Alcotest.test_case "metrics" `Quick test_metrics;
           test_random_feasible;
+          test_random_feasible_connectivity;
           Alcotest.test_case "dot output" `Quick test_dot_output;
         ] );
     ]

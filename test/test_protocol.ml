@@ -814,6 +814,60 @@ let test_nab_deterministic () =
         i1.Nab.decisions i2.Nab.decisions)
     r1.Nab.instances r2.Nab.instances
 
+(* The adaptive strategy corrupts, greedily, the node whose exclusion most
+   reduces the residual broadcast min-cut; disconnecting picks count as
+   not-more-damaging. Mirror that damage function and check the greedy
+   optimum is what gets picked. *)
+let adaptive_damage g ~source v =
+  let g' = Digraph.remove_vertex g v in
+  if
+    Digraph.mem_vertex g' source
+    && List.for_all
+         (fun w -> w = source || Maxflow.max_flow g' ~src:source ~dst:w > 0)
+         (Digraph.vertices g')
+  then Maxflow.broadcast_mincut g' ~src:source
+  else max_int
+
+let test_adaptive_minimizes_mincut () =
+  let source = 1 in
+  let check name g =
+    let chosen = Adversary.adaptive ~g ~source ~f:1 in
+    Alcotest.(check int) (name ^ ": one corruption") 1 (Vset.cardinal chosen);
+    let v = List.hd (Vset.elements chosen) in
+    Alcotest.(check bool) (name ^ ": never the source") true (v <> source);
+    let best =
+      Digraph.vertices g
+      |> List.filter (fun w -> w <> source)
+      |> List.map (adaptive_damage g ~source)
+      |> List.fold_left min max_int
+    in
+    Alcotest.(check int)
+      (name ^ ": picked node minimizes residual broadcast min-cut")
+      best (adaptive_damage g ~source v)
+  in
+  check "k4" k4;
+  check "k5" k5;
+  check "chords7" chords7;
+  check "dumbbell" dumbbell;
+  check "random" (Gen.random_bb_feasible ~n:6 ~f:1 ~p:0.8 ~min_cap:1 ~max_cap:3 ~seed:5);
+  (* A designed unique optimum: node 3's incident links carry capacity 4,
+     every other link capacity 1 — so removing node 3 leaves the weakest
+     residual network (a K4 at capacity 1) and must be the greedy pick. *)
+  let hub =
+    Digraph.of_edges
+      (List.concat_map
+         (fun (a, b) ->
+           let cap = if a = 3 || b = 3 then 4 else 1 in
+           [ (a, b, cap); (b, a, cap) ])
+         [ (1, 2); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5); (3, 4); (3, 5); (4, 5) ])
+  in
+  let chosen = Adversary.adaptive ~g:hub ~source ~f:1 in
+  Alcotest.(check bool) "hub: picks the capacity hub" true (Vset.mem 3 chosen);
+  (* f = 2: two distinct non-source nodes, chosen greedily. *)
+  let chosen2 = Adversary.adaptive ~g:k7 ~source ~f:2 in
+  Alcotest.(check int) "k7 f=2: two corruptions" 2 (Vset.cardinal chosen2);
+  Alcotest.(check bool) "k7 f=2: source honest" true (not (Vset.mem source chosen2))
+
 let () =
   Alcotest.run "protocol"
     [
@@ -884,5 +938,7 @@ let () =
           test_nab_f2_random_graphs;
           Alcotest.test_case "DC cost linear in L" `Quick test_dc_cost_linear_in_l;
           Alcotest.test_case "deterministic" `Quick test_nab_deterministic;
+          Alcotest.test_case "adaptive minimizes min-cut" `Quick
+            test_adaptive_minimizes_mincut;
         ] );
     ]
