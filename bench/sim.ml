@@ -1,0 +1,605 @@
+(* Macro-benchmarks of the compiled simulator core (Nab_net.Sim) against
+   the pre-compilation hashtable fabric, plus campaign-scale planning with
+   a cold vs warm Plan_cache, emitting a machine-readable BENCH_sim.json so
+   every PR has a perf trajectory to regress against.
+
+   Usage:
+     dune exec bench/sim.exe                   # bench + BENCH_sim.json
+     dune exec bench/sim.exe -- --out F.json   # choose the artifact path
+     dune exec bench/sim.exe -- --quick        # shorter timing windows
+     dune exec bench/sim.exe -- --check        # correctness-only smoke
+                                               # (differential vs the
+                                               # reference fabric, no timing)
+
+   [Ref_sim] below is a verbatim port of the pre-compilation simulator
+   (per-round hashtables, per-receiver sort, unconditional event retention)
+   so the reported speedups measure exactly what the compiled core bought.
+   Timings are wall-clock and machine-dependent; the JSON is a trajectory
+   artifact, not a test — `--check` is the CI gate and asserts correctness
+   only. *)
+
+open Nab_graph
+open Nab_net
+
+(* ------------------------- reference fabric ------------------------- *)
+
+module Ref_sim = struct
+  [@@@warning "-32"]
+
+  type 'm event = { round_no : int; ev_phase : string; src : int; dst : int; msg : 'm }
+
+  type phase_acc = {
+    mutable p_rounds : int;
+    mutable p_wall : float;
+    mutable p_bottleneck : float;
+    mutable p_bits : int;
+    mutable p_extra : float;
+  }
+
+  type phase_stat = {
+    phase : string;
+    rounds : int;
+    wall : float;
+    bottleneck : float;
+    bits_total : int;
+    extra : float;
+  }
+
+  type 'm t = {
+    g : Digraph.t;
+    bits : 'm -> int;
+    delays : int * int -> int;
+    obs : Nab_obs.ctx;
+    mutable round_no : int;
+    mutable msg_no : int;
+    mutable evs : 'm event list; (* reversed *)
+    mutable dropped : int;
+    link_total : (int * int, int) Hashtbl.t;
+    phases : (string, phase_acc) Hashtbl.t;
+    mutable phase_order : string list; (* reversed *)
+    pending : (int, (int * int * 'm) list) Hashtbl.t;
+  }
+
+  let create ?(delays = fun _ -> 0) ?(obs = Nab_obs.null) g ~bits =
+    {
+      g;
+      bits;
+      delays;
+      obs;
+      round_no = 0;
+      msg_no = 0;
+      evs = [];
+      dropped = 0;
+      link_total = Hashtbl.create 32;
+      phases = Hashtbl.create 8;
+      phase_order = [];
+      pending = Hashtbl.create 8;
+    }
+
+  let phase_acc t name =
+    match Hashtbl.find_opt t.phases name with
+    | Some acc -> acc
+    | None ->
+        let acc =
+          { p_rounds = 0; p_wall = 0.0; p_bottleneck = 0.0; p_bits = 0; p_extra = 0.0 }
+        in
+        Hashtbl.add t.phases name acc;
+        t.phase_order <- name :: t.phase_order;
+        acc
+
+  let elapsed_phases t =
+    Hashtbl.fold (fun _ a acc -> acc +. a.p_wall +. a.p_extra) t.phases 0.0
+
+  let round t ~phase outbox =
+    let acc = phase_acc t phase in
+    t.round_no <- t.round_no + 1;
+    let round_no = t.round_no in
+    let sample = Nab_obs.sample_messages t.obs in
+    let link_bits = Hashtbl.create 16 in
+    let inboxes : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
+    let into_inbox src dst msg =
+      Hashtbl.replace inboxes dst
+        ((src, msg) :: (try Hashtbl.find inboxes dst with Not_found -> []));
+      t.evs <- { round_no; ev_phase = phase; src; dst; msg } :: t.evs;
+      t.msg_no <- t.msg_no + 1;
+      if sample > 0 && t.msg_no mod sample = 0 then
+        Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+          ~attrs:
+            [
+              ("phase", Nab_obs.S phase);
+              ("round", Nab_obs.I round_no);
+              ("src", Nab_obs.I src);
+              ("dst", Nab_obs.I dst);
+              ("bits", Nab_obs.I (t.bits msg));
+            ]
+          "msg"
+    in
+    let deliver src dst msg =
+      if Digraph.mem_edge t.g src dst then begin
+        let b = t.bits msg in
+        if b <= 0 then invalid_arg "Sim.round: message with non-positive bit size";
+        Hashtbl.replace link_bits (src, dst)
+          (b + try Hashtbl.find link_bits (src, dst) with Not_found -> 0);
+        Hashtbl.replace t.link_total (src, dst)
+          (b + try Hashtbl.find t.link_total (src, dst) with Not_found -> 0);
+        let d = max 0 (t.delays (src, dst)) in
+        if d = 0 then into_inbox src dst msg
+        else begin
+          let due = round_no + d in
+          Hashtbl.replace t.pending due
+            ((src, dst, msg) :: (try Hashtbl.find t.pending due with Not_found -> []))
+        end
+      end
+      else begin
+        t.dropped <- t.dropped + 1;
+        Nab_obs.add t.obs "sim.dropped" 1
+      end
+    in
+    (match Hashtbl.find_opt t.pending round_no with
+    | Some arrivals ->
+        List.iter (fun (src, dst, msg) -> into_inbox src dst msg) (List.rev arrivals);
+        Hashtbl.remove t.pending round_no
+    | None -> ());
+    List.iter
+      (fun v -> List.iter (fun (dst, msg) -> deliver v dst msg) (outbox v))
+      (Digraph.vertices t.g);
+    let duration =
+      Hashtbl.fold
+        (fun (src, dst) b acc ->
+          Float.max acc (float_of_int b /. float_of_int (Digraph.cap t.g src dst)))
+        link_bits 0.0
+    in
+    let bits_this_round = Hashtbl.fold (fun _ b acc -> acc + b) link_bits 0 in
+    acc.p_rounds <- acc.p_rounds + 1;
+    acc.p_wall <- acc.p_wall +. duration;
+    acc.p_bottleneck <- Float.max acc.p_bottleneck duration;
+    acc.p_bits <- acc.p_bits + bits_this_round;
+    if Nab_obs.enabled t.obs then begin
+      Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+        ~attrs:
+          [
+            ("phase", Nab_obs.S phase);
+            ("round", Nab_obs.I round_no);
+            ("bits", Nab_obs.I bits_this_round);
+            ("duration", Nab_obs.F duration);
+          ]
+        "round";
+      Nab_obs.add t.obs "sim.rounds" 1;
+      Nab_obs.add t.obs "sim.bits" bits_this_round
+    end;
+    fun v ->
+      (try Hashtbl.find inboxes v with Not_found -> [])
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let pending_count t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.pending 0
+
+  let drain t ~phase =
+    let merged : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
+    while pending_count t > 0 do
+      let inbox = round t ~phase (fun _ -> []) in
+      List.iter
+        (fun v ->
+          match inbox v with
+          | [] -> ()
+          | arrivals ->
+              Hashtbl.replace merged v
+                ((try Hashtbl.find merged v with Not_found -> []) @ arrivals))
+        (Digraph.vertices t.g)
+    done;
+    fun v -> try Hashtbl.find merged v with Not_found -> []
+
+  let add_cost t ~phase c =
+    let acc = phase_acc t phase in
+    acc.p_extra <- acc.p_extra +. c
+
+  let phase_stats t =
+    List.rev_map
+      (fun name ->
+        let a = Hashtbl.find t.phases name in
+        {
+          phase = name;
+          rounds = a.p_rounds;
+          wall = a.p_wall;
+          bottleneck = a.p_bottleneck;
+          bits_total = a.p_bits;
+          extra = a.p_extra;
+        })
+      t.phase_order
+
+  let elapsed t =
+    List.fold_left (fun acc s -> acc +. s.wall +. s.extra) 0.0 (phase_stats t)
+
+  let pipelined_elapsed t =
+    List.fold_left (fun acc s -> acc +. s.bottleneck +. s.extra) 0.0 (phase_stats t)
+
+  type timing = { wall : float; pipelined : float; phases : phase_stat list }
+
+  let timing t =
+    { wall = elapsed t; pipelined = pipelined_elapsed t; phases = phase_stats t }
+
+  let link_bits t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.link_total [] |> List.sort compare
+
+  let dropped t = t.dropped
+
+  let utilization t =
+    let wall = elapsed t in
+    Hashtbl.fold
+      (fun (src, dst) bits acc ->
+        let u =
+          if wall <= 0.0 then 0.0
+          else
+            float_of_int bits /. (float_of_int (Digraph.cap t.g src dst) *. wall)
+        in
+        ((src, dst), u) :: acc)
+      t.link_total []
+    |> List.sort compare
+
+  let events t = List.rev t.evs
+  let events_of_phase t phase = List.filter (fun e -> e.ev_phase = phase) (events t)
+  let rounds_run t = t.round_no
+end
+
+(* ------------------------------ timing ------------------------------ *)
+
+let time_per_op ~min_time f =
+  ignore (Sys.opaque_identity (f ()));
+  let rec run iters =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_time then dt /. float_of_int iters else run (iters * 4)
+  in
+  run 1
+
+type row = {
+  name : string;
+  nodes : int;
+  edges : int;
+  rounds : int; (* rounds per timed episode *)
+  ns : float; (* compiled core, ns per round *)
+  ref_ns : float; (* reference fabric, ns per round *)
+}
+
+let speedup r = if r.ns > 0.0 then r.ref_ns /. r.ns else nan
+
+(* ---------------------------- workloads ----------------------------
+
+   One episode = create a simulator and run [rounds] rounds in which every
+   node sends one message down each of its out-links — the all-links-busy
+   shape of Phase 1 / the equality check. Creation is inside the episode,
+   so the compile cost of the flat core is charged to it. *)
+
+let bits m = 1 + (m land 63)
+
+let episode_rounds = 64
+
+let saturating_outbox g =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace tbl v
+        (List.map (fun (dst, _) -> (dst, (v * 31) + dst)) (Digraph.out_edges g v)))
+    (Digraph.vertices g);
+  fun v -> try Hashtbl.find tbl v with Not_found -> []
+
+let bench_loop ~min_time ~name ?(delays = fun _ -> 0) g =
+  let outbox = saturating_outbox g in
+  let run_new () =
+    let sim = Sim.create ~delays g ~bits in
+    for _ = 1 to episode_rounds do
+      let (_ : int -> (int * int) list) = Sim.round sim ~phase:"bench" outbox in
+      ()
+    done;
+    (Sim.timing sim).Sim.wall
+  in
+  let run_ref () =
+    let sim = Ref_sim.create ~delays g ~bits in
+    for _ = 1 to episode_rounds do
+      let (_ : int -> (int * int) list) = Ref_sim.round sim ~phase:"bench" outbox in
+      ()
+    done;
+    Ref_sim.elapsed sim
+  in
+  let per_round t = 1e9 *. t /. float_of_int episode_rounds in
+  let ns = per_round (time_per_op ~min_time run_new) in
+  let ref_ns = per_round (time_per_op ~min_time run_ref) in
+  {
+    name;
+    nodes = Digraph.num_vertices g;
+    edges = Digraph.num_edges g;
+    rounds = episode_rounds;
+    ns;
+    ref_ns;
+  }
+
+let loop_workloads () =
+  [
+    ("mesh-n8", Gen.complete ~n:8 ~cap:2, None);
+    ("mesh-n16", Gen.complete ~n:16 ~cap:2, None);
+    ("mesh-n32", Gen.complete ~n:32 ~cap:2, None);
+    ( "mesh-n16-delayed",
+      Gen.complete ~n:16 ~cap:2,
+      Some (fun (s, d) -> (s + d) mod 3) );
+  ]
+
+(* -------------------------- campaign timing -------------------------- *)
+
+let cold_caches () =
+  Nab_util.Plan_cache.clear_all ();
+  Nab_core.Params.clear_gamma_cache ()
+
+type campaign_result = {
+  c_name : string;
+  c_scenarios : int;
+  c_cold_s : float;
+  c_warm_s : float;
+  c_identical : bool;
+}
+
+(* Run [scenarios] cold (all plan caches cleared) then warm, asserting the
+   rows are byte-identical — the speedup is only meaningful if temperature
+   changed nothing but wall-clock. *)
+let time_campaign ~name scenarios =
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let rows = Nab_exp.Runner.run_campaign ~jobs:1 scenarios in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, rows)
+  in
+  cold_caches ();
+  let cold_s, cold_rows = run () in
+  let warm_s, warm_rows = run () in
+  let render r = Nab_obs.Json.to_string (Nab_exp.Runner.row_to_json r) in
+  let identical =
+    List.length cold_rows = List.length warm_rows
+    && List.for_all2
+         (fun c w ->
+           let cs = render c and ws = render w in
+           if cs = ws then true
+           else begin
+             Printf.eprintf "cold/warm row mismatch:\n  cold: %s\n  warm: %s\n" cs ws;
+             false
+           end)
+         cold_rows warm_rows
+  in
+  {
+    c_name = name;
+    c_scenarios = List.length scenarios;
+    c_cold_s = cold_s;
+    c_warm_s = warm_s;
+    c_identical = identical;
+  }
+
+(* The quick campaign runs on paper-scale graphs (n <= 8) where planning is
+   a minority of the wall, so its cold/warm ratio understates the cache.
+   The scaled tier uses the topologies campaigns actually choke on — tree
+   packing and coding-matrix generation grow steeply with n — with several
+   scenarios sharing each topology, which is exactly the shape the
+   content-keyed cache exists for. *)
+let scaled_scenarios ~quick =
+  let mk n q =
+    Nab_exp.Scenario.make ~f:2 ~q ~l_bits:512
+      (Nab_exp.Scenario.Complete { n; cap = 2 })
+      ()
+  in
+  if quick then [ mk 10 2; mk 12 2 ]
+  else [ mk 10 2; mk 10 3; mk 12 2; mk 12 3; mk 14 2; mk 14 3 ]
+
+(* ------------------------------ checks ------------------------------
+
+   Differential correctness of the compiled core against the reference
+   fabric on random episodes (sparse ids, random edges, delayed links,
+   sends to absent links), plus cold-vs-warm campaign row identity. Exits
+   nonzero on the first mismatch. This (not the timings) is what CI runs. *)
+
+let random_episode st =
+  let n = 2 + Random.State.int st 5 in
+  let spread = 1 + Random.State.int st 4 in
+  let base = Random.State.int st 6 in
+  let ids = Array.init n (fun i -> base + 1 + (i * spread)) in
+  let edges = ref [] in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun d ->
+          if s <> d && Random.State.bool st then
+            edges := (s, d, 1 + Random.State.int st 4) :: !edges)
+        ids)
+    ids;
+  let dseed = Random.State.int st 98 in
+  let nrounds = 1 + Random.State.int st 6 in
+  let sends =
+    List.init nrounds (fun _ ->
+        List.init (Random.State.int st 13) (fun _ ->
+            ( Random.State.int st n,
+              Random.State.int st (n + 1),
+              1 + Random.State.int st 200 )))
+  in
+  (ids, List.rev !edges, dseed, sends)
+
+let run_episode (ids, edges, dseed, sends) =
+  let g = Digraph.of_edges ~vertices:(Array.to_list ids) edges in
+  let delays (s, d) = ((s * 5) + (d * 3) + dseed) mod 3 in
+  let sim = Sim.create ~delays ~keep_events:true g ~bits in
+  let rsim = Ref_sim.create ~delays g ~bits in
+  let verts = Digraph.vertices g in
+  let id_of i = if i >= Array.length ids then 999983 else ids.(i) in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  List.iteri
+    (fun r round_sends ->
+      let phase = if r mod 2 = 0 then "even" else "odd" in
+      let outbox v =
+        List.filter_map
+          (fun (si, di, m) -> if id_of si = v then Some (id_of di, m) else None)
+          round_sends
+      in
+      let ib = Sim.round sim ~phase outbox in
+      let rb = Ref_sim.round rsim ~phase outbox in
+      List.iter (fun v -> check (ib v = rb v)) verts)
+    sends;
+  let late = Sim.drain sim ~phase:"drain" in
+  let rlate = Ref_sim.drain rsim ~phase:"drain" in
+  List.iter (fun v -> check (late v = rlate v)) verts;
+  check (Sim.dropped sim = Ref_sim.dropped rsim);
+  check (Sim.rounds_run sim = Ref_sim.rounds_run rsim);
+  check (Sim.link_bits sim = Ref_sim.link_bits rsim);
+  check (Sim.utilization sim = Ref_sim.utilization rsim);
+  let tn = Sim.timing sim and tr = Ref_sim.timing rsim in
+  check (tn.Sim.wall = tr.Ref_sim.wall);
+  check (tn.Sim.pipelined = tr.Ref_sim.pipelined);
+  check
+    (List.map
+       (fun (p : Sim.phase_stat) ->
+         (p.Sim.phase, p.Sim.rounds, p.Sim.wall, p.Sim.bottleneck, p.Sim.bits_total, p.Sim.extra))
+       tn.Sim.phases
+    = List.map
+        (fun (p : Ref_sim.phase_stat) ->
+          ( p.Ref_sim.phase,
+            p.Ref_sim.rounds,
+            p.Ref_sim.wall,
+            p.Ref_sim.bottleneck,
+            p.Ref_sim.bits_total,
+            p.Ref_sim.extra ))
+        tr.Ref_sim.phases);
+  check
+    (List.map
+       (fun (e : _ Sim.event) ->
+         (e.Sim.round_no, e.Sim.ev_phase, e.Sim.src, e.Sim.dst, e.Sim.msg))
+       (Sim.events sim)
+    = List.map
+        (fun (e : _ Ref_sim.event) ->
+          (e.Ref_sim.round_no, e.Ref_sim.ev_phase, e.Ref_sim.src, e.Ref_sim.dst, e.Ref_sim.msg))
+        (Ref_sim.events rsim));
+  !ok
+
+let run_checks () =
+  let failures = ref 0 in
+  let cases = ref 0 in
+  let st = Random.State.make [| 0x51b3; 7 |] in
+  for episode = 1 to 400 do
+    incr cases;
+    if not (run_episode (random_episode st)) then begin
+      incr failures;
+      Printf.eprintf "FAIL episode %d\n" episode
+    end
+  done;
+  (* plan-cache temperature must not change campaign rows *)
+  incr cases;
+  let c = time_campaign ~name:"quick" (Nab_exp.Campaigns.quick ()) in
+  if not c.c_identical then begin
+    incr failures;
+    Printf.eprintf "FAIL cold vs warm campaign rows differ\n"
+  end;
+  Printf.printf "sim check: %d cases, %d failures\n" !cases !failures;
+  if !failures > 0 then exit 1
+
+(* ------------------------------- main ------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let out =
+    let rec find = function
+      | "--out" :: path :: _ -> path
+      | _ :: rest -> find rest
+      | [] -> "BENCH_sim.json"
+    in
+    find args
+  in
+  if List.mem "--check" args then run_checks ()
+  else begin
+    let min_time = if List.mem "--quick" args then 0.02 else 0.2 in
+    let rows =
+      List.map
+        (fun (name, g, delays) -> bench_loop ~min_time ~name ?delays g)
+        (loop_workloads ())
+    in
+    let quick = List.mem "--quick" args in
+    let campaigns =
+      [
+        time_campaign ~name:"quick" (Nab_exp.Campaigns.quick ());
+        time_campaign ~name:"scaled" (scaled_scenarios ~quick);
+      ]
+    in
+    Printf.printf "%-18s %6s %6s %14s %14s %9s\n" "benchmark" "nodes" "edges"
+      "core ns/round" "ref ns/round" "speedup";
+    Printf.printf "%s\n" (String.make 72 '-');
+    List.iter
+      (fun r ->
+        Printf.printf "%-18s %6d %6d %14.1f %14.1f %8.2fx\n" r.name r.nodes r.edges
+          r.ns r.ref_ns (speedup r))
+      rows;
+    print_newline ();
+    List.iter
+      (fun c ->
+        Printf.printf
+          "%s campaign (%d scenarios, jobs=1): cold %.2fs, warm %.2fs, %.2fx%s\n"
+          c.c_name c.c_scenarios c.c_cold_s c.c_warm_s
+          (if c.c_warm_s > 0.0 then c.c_cold_s /. c.c_warm_s else nan)
+          (if c.c_identical then "" else " [ROWS DIFFER!]"))
+      campaigns;
+    if not (List.for_all (fun c -> c.c_identical) campaigns) then exit 1;
+    let json =
+      Nab_obs.Json.(
+        Obj
+          [
+            ("schema", Str "nab-bench-sim/1");
+            ( "config",
+              Obj
+                [
+                  ("min_time_s", float min_time);
+                  ("episode_rounds", Int episode_rounds);
+                ] );
+            ( "results",
+              List
+                (List.map
+                   (fun r ->
+                     Obj
+                       [
+                         ("name", Str r.name);
+                         ("nodes", Int r.nodes);
+                         ("edges", Int r.edges);
+                         ("ns_per_round", float r.ns);
+                         ("ref_ns_per_round", float r.ref_ns);
+                         ("rounds_per_sec", float (1e9 /. r.ns));
+                         ("speedup", float (speedup r));
+                       ])
+                   rows) );
+            ( "campaigns",
+              List
+                (List.map
+                   (fun c ->
+                     Obj
+                       [
+                         ("name", Str c.c_name);
+                         ("scenarios", Int c.c_scenarios);
+                         ("jobs", Int 1);
+                         ("cold_s", float c.c_cold_s);
+                         ("warm_s", float c.c_warm_s);
+                         ("speedup", float (c.c_cold_s /. c.c_warm_s));
+                         ("rows_identical", Bool c.c_identical);
+                       ])
+                   campaigns) );
+            ( "plan_caches",
+              Obj
+                (List.map
+                   (fun (name, (s : Nab_util.Plan_cache.stats)) ->
+                     ( name,
+                       Obj
+                         [
+                           ("hits", Int s.Nab_util.Plan_cache.hits);
+                           ("misses", Int s.Nab_util.Plan_cache.misses);
+                           ("entries", Int s.Nab_util.Plan_cache.entries);
+                         ] ))
+                   (Nab_util.Plan_cache.global_stats ())) );
+          ])
+    in
+    let oc = open_out out in
+    output_string oc (Nab_obs.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %s\n" out
+  end

@@ -121,6 +121,13 @@ let run_cmd =
      else
        let oc = open_out out in
        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Runner.write_jsonl oc rows));
+    List.iter
+      (fun (name, (s : Nab_util.Plan_cache.stats)) ->
+        if s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses > 0 then
+          Printf.eprintf "plan cache %-24s %d hits / %d misses (%d entries)\n%!" name
+            s.Nab_util.Plan_cache.hits s.Nab_util.Plan_cache.misses
+            s.Nab_util.Plan_cache.entries)
+      (Nab_util.Plan_cache.global_stats ());
     let bad = Runner.violations rows in
     List.iter (print_failure stderr) bad;
     (match shrink_dir with

@@ -348,20 +348,30 @@ let all =
     ("adaptive-ec-liar", { ec_liar with name = "adaptive-ec-liar"; pick_faulty = adaptive });
   ]
 
+(* The randomized strategies carry a per-instance RNG stream table, so a
+   shared value replays differently on every run (and races across domains
+   running scenarios concurrently). [find] therefore constructs a fresh
+   instance per lookup — the [all] entries stay for table-driven iteration,
+   where one value sees one run. *)
 let find name =
-  match List.assoc_opt name all with
-  | Some _ as a -> a
-  | None -> (
-      (* "chaos:SEED" / "garbage:SEED": the seeded randomized strategies. *)
-      match String.index_opt name ':' with
-      | None -> None
-      | Some i -> (
-          let base = String.sub name 0 i in
-          let arg = String.sub name (i + 1) (String.length name - i - 1) in
-          match (base, int_of_string_opt arg) with
-          | "chaos", Some seed -> Some { (chaos ~seed) with name }
-          | "garbage", Some seed -> Some { (garbage ~seed) with name }
-          | _ -> None))
+  match name with
+  | "garbage" -> Some (garbage ~seed:42)
+  | "chaos" -> Some (chaos ~seed:42)
+  | _ -> (
+      match List.assoc_opt name all with
+      | Some _ as a -> a
+      | None -> (
+          (* "chaos:SEED" / "garbage:SEED": the seeded randomized
+             strategies. *)
+          match String.index_opt name ':' with
+          | None -> None
+          | Some i -> (
+              let base = String.sub name 0 i in
+              let arg = String.sub name (i + 1) (String.length name - i - 1) in
+              match (base, int_of_string_opt arg) with
+              | "chaos", Some seed -> Some { (chaos ~seed) with name }
+              | "garbage", Some seed -> Some { (garbage ~seed) with name }
+              | _ -> None)))
 
 let hook_names =
   [ "phase1"; "ec"; "flag-eig"; "dc-claims"; "dc-input"; "dc-eig"; "reliable" ]

@@ -96,13 +96,20 @@ val chaos : seed:int -> t
     the zoo; fuzz tests sweep its seed. *)
 
 val all : (string * t) list
-(** The zoo, for table-driven tests and benchmarks ([garbage] at seed 42). *)
+(** The zoo, for table-driven tests and benchmarks ([garbage] at seed 42).
+    The randomized entries ([garbage], [chaos]) carry a persistent
+    per-instance RNG stream: one value is reproducible for one run; reusing
+    it replays differently. Resolve via {!find} when a strategy may run more
+    than once per process. *)
 
 val find : string -> t option
 (** Resolve a strategy by name: the {!all} zoo, plus the seeded spellings
     ["chaos:SEED"] and ["garbage:SEED"] (the returned strategy keeps the
     full spelling as its [name], so reports stay self-describing). [None]
-    for anything else. *)
+    for anything else. Every call returns a strategy with fresh internal
+    state, so repeated runs resolved through [find] replay identically —
+    campaign rows stay byte-identical however often (and on however many
+    domains) a scenario is re-run. *)
 
 val hook_names : string list
 (** The per-step deviation hooks of {!t}, by name: ["phase1"], ["ec"],

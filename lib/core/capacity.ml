@@ -14,7 +14,24 @@ type rho_witness = {
   crossing_capacity : int;
 }
 
-let gamma_witness g ~source ~f =
+(* Witnesses re-enumerate the psi-graph / Omega families — the most
+   expensive analytic sweeps in the repo — and checker oracles ask for the
+   same graph from every scenario of a campaign, so all three entry points
+   are served from content-keyed process-wide caches. Witness records are
+   immutable (graphs, vertex sets, edge lists), safe to share across pool
+   domains. *)
+let gamma_witness_cache : gamma_witness Nab_util.Plan_cache.t =
+  Nab_util.Plan_cache.create ~name:"capacity.gamma_witness" ()
+
+let rho_witness_cache : rho_witness Nab_util.Plan_cache.t =
+  Nab_util.Plan_cache.create ~name:"capacity.rho_witness" ()
+
+let verify_cache : (unit, string) result Nab_util.Plan_cache.t =
+  Nab_util.Plan_cache.create ~name:"capacity.verify" ()
+
+let key g ~source ~f = Printf.sprintf "%s|s%d f%d" (Digraph.fingerprint g) source f
+
+let compute_gamma_witness g ~source ~f =
   let candidates = Params.psi_graphs g ~source ~f in
   let best =
     List.fold_left
@@ -38,7 +55,11 @@ let gamma_witness g ~source ~f =
       let cut_value, cut_edges = Maxflow.min_cut_edges psi ~src:source ~dst:bottleneck_node in
       { psi; bottleneck_node; cut_value; cut_edges }
 
-let rho_witness g ~f =
+let gamma_witness g ~source ~f =
+  Nab_util.Plan_cache.find_or_compute gamma_witness_cache ~key:(key g ~source ~f)
+    (fun () -> compute_gamma_witness g ~source ~f)
+
+let compute_rho_witness g ~f =
   let total_n = Digraph.num_vertices g in
   let omega = Params.omega_k g ~total_n ~f ~disputes:[] in
   let best =
@@ -58,7 +79,13 @@ let rho_witness g ~f =
   | Some (h_nodes, u_h, side) ->
       { h_nodes; u_h; side; crossing_capacity = u_h }
 
-let verify g ~source ~f =
+let rho_witness g ~f =
+  (* The rho side does not depend on the source; key on a sentinel. *)
+  Nab_util.Plan_cache.find_or_compute rho_witness_cache
+    ~key:(Printf.sprintf "%s|f%d" (Digraph.fingerprint g) f)
+    (fun () -> compute_rho_witness g ~f)
+
+let compute_verify g ~source ~f =
   let s = Params.stars g ~source ~f in
   let gw = gamma_witness g ~source ~f in
   let rw = rho_witness g ~f in
@@ -81,6 +108,10 @@ let verify g ~source ~f =
         (Printf.sprintf "implied bound %.1f inconsistent with capacity_ub %.1f" implied
            s.Params.capacity_ub)
   end
+
+let verify g ~source ~f =
+  Nab_util.Plan_cache.find_or_compute verify_cache ~key:(key g ~source ~f)
+    (fun () -> compute_verify g ~source ~f)
 
 let pp_report fmt g ~source ~f =
   let s = Params.stars g ~source ~f in

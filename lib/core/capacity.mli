@@ -32,7 +32,11 @@ val rho_witness : Digraph.t -> f:int -> rho_witness
 val verify : Digraph.t -> source:int -> f:int -> (unit, string) result
 (** Check both witnesses against {!Params.stars}: the gamma witness's cut
     value equals gamma*, the rho witness's U_H equals 2 rho* or 2 rho* + 1
-    (odd U), and the implied bound matches [capacity_ub]. *)
+    (odd U), and the implied bound matches [capacity_ub].
+
+    All three entry points are memoized in process-wide content-keyed
+    caches ({!Nab_util.Plan_cache}), so campaign checkers asking about the
+    same topology repeatedly enumerate the cut families once. *)
 
 val pp_report : Format.formatter -> Digraph.t -> source:int -> f:int -> unit
 (** Human-readable explanation of where the capacity ceiling of a network

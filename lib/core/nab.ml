@@ -104,6 +104,30 @@ let make_plan ~config ~total_n ~disputes gk =
     plan_coding_attempts = attempts;
   }
 
+(* Process-wide plan memo: campaigns replay the same topology families
+   across many scenarios and pool domains, but a plan is a deterministic
+   function of (G_k, source, f, n, disputes, m, seed) — compute each one
+   once per process. Values are immutable (trees, coding matrices), so
+   sharing across domains is safe; the session-local ses_plans table still
+   decides when the nab.plans_built / nab.coding_attempts counters fire, so
+   run artifacts are byte-identical whatever the cache temperature. *)
+let plan_cache : graph_plan Nab_util.Plan_cache.t =
+  Nab_util.Plan_cache.create ~name:"nab.plan" ()
+
+let plan_key ~config ~total_n ~disputes gk =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Digraph.fingerprint gk);
+  Printf.bprintf buf "|s%d f%d n%d m%d r%d|d" config.source config.f total_n
+    config.m config.seed;
+  List.iter (fun (a, b) -> Printf.bprintf buf " %d-%d" a b) (List.sort compare disputes);
+  Buffer.contents buf
+
+let plan ~config ~total_n ~disputes gk =
+  let config = validate_config config in
+  Nab_util.Plan_cache.find_or_compute plan_cache
+    ~key:(plan_key ~config ~total_n ~disputes gk)
+    (fun () -> make_plan ~config ~total_n ~disputes gk)
+
 let truncate_to bits bv = Bitvec.slice bv ~pos:0 ~len:bits
 
 type session = {
@@ -209,7 +233,7 @@ let session_broadcast ses input0 =
           match Hashtbl.find_opt ses.ses_plans (graph_key ses.ses_gk) with
           | Some p -> p
           | None ->
-              let p = make_plan ~config ~total_n ~disputes:ses.ses_disputes ses.ses_gk in
+              let p = plan ~config ~total_n ~disputes:ses.ses_disputes ses.ses_gk in
               Hashtbl.add ses.ses_plans (graph_key ses.ses_gk) p;
               Nab_obs.add obs "nab.coding_attempts" p.plan_coding_attempts;
               Nab_obs.add obs "nab.plans_built" 1;
@@ -237,7 +261,9 @@ let session_broadcast ses input0 =
            graph G (disputed links still physically exist; reliability comes
            from node-disjoint-path majority, not from trusting them).
            Phases 1 and 2.1 structurally restrict themselves to G_k. *)
-        let sim = Sim.create ~obs ses.ses_g ~bits:Packet.bits in
+        (* keep_events: dispute control draws honest claims from the
+           delivery trace (Dispute.honest_claims reads events_of_phase). *)
+        let sim = Sim.create ~obs ~keep_events:true ses.ses_g ~bits:Packet.bits in
         (* ---- Phase 1: unreliable broadcast over the tree packing ---- *)
         let received =
           Phase1.run ~sim ~phase:"phase1" ~trees:plan.plan_trees ~source ~value ~faulty

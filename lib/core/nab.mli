@@ -87,6 +87,31 @@ type run_report = {
   throughput_pipelined : float;  (** L * Q / total pipelined time — the paper's T *)
 }
 
+type graph_plan = {
+  plan_gamma : int;  (** gamma_k: arborescences packed from the source *)
+  plan_rho : int;  (** rho_k: equality-check code rate parameter *)
+  plan_trees : Arborescence.tree list;
+  plan_coding : Coding.t;
+  plan_coding_attempts : int;  (** seeds tried until the matrix verified *)
+}
+(** The per-graph protocol structure of instance k — a deterministic
+    function of (G_k, source, f, n, disputes, m, seed), independent of the
+    input value. Immutable, safe to share across domains. *)
+
+val plan :
+  config:config ->
+  total_n:int ->
+  disputes:Params.dispute list ->
+  Digraph.t ->
+  graph_plan
+(** The plan for a graph, served from a process-wide content-keyed
+    {!Nab_util.Plan_cache} (key: {!Digraph.fingerprint} of G_k plus source,
+    f, [total_n], [disputes], m, seed — [l_bits] and [flag_backend] do not
+    affect the plan). Campaign runners hitting the same topology from many
+    scenarios or pool domains plan it exactly once per process. Raises
+    [Invalid_argument] when some node is unreachable from the source
+    (gamma < 1) or the equality check is impossible (rho < 1). *)
+
 type session
 (** A long-lived broadcast session: the accumulated dispute state, excluded
     nodes and per-graph protocol plans (trees, verified coding matrices)

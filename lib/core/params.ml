@@ -269,7 +269,15 @@ type star = {
   half_capacity_condition : bool;
 }
 
-let stars g ~source ~f =
+(* The star quantities enumerate psi graphs (exponential in f) and every
+   checker oracle that cites Theorem 3 recomputes them for its scenario's
+   topology, so serve them from a process-wide content-keyed cache. The
+   record is immutable and the computation is deterministic (fixed internal
+   sampling seed), so a hit is observably identical to recomputation. *)
+let stars_cache : star Nab_util.Plan_cache.t =
+  Nab_util.Plan_cache.create ~name:"params.stars" ()
+
+let compute_stars g ~source ~f =
   let gs = gamma_star g ~source ~f in
   let rs = rho_star g ~f in
   if rs = 0 then invalid_arg "Params.stars: rho* = 0 (U_1 < 2), equality check impossible";
@@ -284,3 +292,8 @@ let stars g ~source ~f =
     ratio = throughput_lb /. capacity_ub;
     half_capacity_condition = gs <= rs;
   }
+
+let stars g ~source ~f =
+  Nab_util.Plan_cache.find_or_compute stars_cache
+    ~key:(Printf.sprintf "%s|s%d f%d" (Digraph.fingerprint g) source f)
+    (fun () -> compute_stars g ~source ~f)

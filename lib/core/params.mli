@@ -47,7 +47,11 @@ val stars : Digraph.t -> source:int -> f:int -> star
     removed being those in every <= f cover of D, restricted to graphs that
     retain the source. This enumeration is exponential in the number of
     edges incident to a fault set; it is intended for the paper-scale
-    networks used in tests and benchmarks (n up to ~8 with f <= 2). *)
+    networks used in tests and benchmarks (n up to ~8 with f <= 2).
+
+    Results are memoized process-wide in a content-keyed
+    {!Nab_util.Plan_cache} (fingerprint x source x f): campaign checkers
+    re-citing Theorem 3 for the same topology enumerate Gamma once. *)
 
 val gamma_star : Digraph.t -> source:int -> f:int -> int
 val rho_star : Digraph.t -> f:int -> int

@@ -19,17 +19,19 @@ type result = {
 let proto ~tree ~instance = Printf.sprintf "pp1:%d:%d" tree instance
 
 let run ~g ~config ~inputs ~q =
-  let { Nab.f; source; l_bits; m; seed; flag_backend = _ } = config in
+  let { Nab.f; source; l_bits; m; seed = _; flag_backend = _ } = config in
   if q < 1 then invalid_arg "Pipelined.run: q must be positive";
   if not (Connectivity.meets_requirement g ~f) then
     invalid_arg "Pipelined.run: need n >= 3f+1 and connectivity >= 2f+1";
   let total_n = Digraph.num_vertices g in
-  let gamma = Params.gamma_k g ~source in
-  let rho = Params.rho_k g ~total_n ~f ~disputes:[] in
-  if rho < 1 then invalid_arg "Pipelined.run: U_1 < 2";
-  let trees = Array.of_list (Arborescence.pack g ~root:source ~k:gamma) in
-  let omega = Params.omega_k g ~total_n ~f ~disputes:[] in
-  let coding, _ = Coding.generate_correct g ~omega ~rho ~m ~seed () in
+  (* The pipelined Phase 1 uses exactly the instance-1 protocol structure
+     (no disputes yet), so share Nab's process-wide plan cache instead of
+     recomputing trees and re-verifying coding matrices per run. *)
+  let plan = Nab.plan ~config ~total_n ~disputes:[] g in
+  let gamma = plan.Nab.plan_gamma in
+  let rho = plan.Nab.plan_rho in
+  let trees = Array.of_list plan.Nab.plan_trees in
+  let coding = plan.Nab.plan_coding in
   let unit_bits = rho * m in
   let value_bits = (l_bits + unit_bits - 1) / unit_bits * unit_bits in
   let sizes = Phase1.slice_sizes ~value_bits ~trees:gamma in

@@ -53,7 +53,14 @@ let run_scenario scenario =
 
 (* Fixed chunk size: the fan-out batches (and hence the order in which
    [on_row] observes results) must not depend on the job count, or the
-   streamed artifact would not be byte-identical across --jobs values. *)
+   streamed artifact would not be byte-identical across --jobs values.
+
+   Scenarios sharing a topology also share its planning implicitly: Nab,
+   Params and Capacity serve plans/star-quantities/cut-witnesses from
+   process-wide single-flight Plan_caches, so a campaign plans each
+   distinct (graph, source, f, ...) once no matter how many scenarios (or
+   pool domains) touch it. Rows are unaffected by cache temperature —
+   per-session counters are emitted on session-local misses. *)
 let chunk_size = 8
 
 let rec take_drop k = function

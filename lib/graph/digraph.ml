@@ -138,6 +138,32 @@ let is_strongly_connected g =
       Vset.equal (reachable g v0) g.verts
       && Vset.for_all (fun v -> Vset.mem v0 (reachable g v)) g.verts
 
+let fingerprint g =
+  (* Canonical: sorted vertex list, then edges in (src, dst) order with
+     capacities — the same shape [equal] compares, rendered compactly. Two
+     graphs share a fingerprint iff they are [equal]. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'v';
+  Vset.iter
+    (fun v ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int v))
+    g.verts;
+  Buffer.add_string buf ";e";
+  Imap.iter
+    (fun src inner ->
+      Imap.iter
+        (fun dst cap ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int src);
+          Buffer.add_char buf '>';
+          Buffer.add_string buf (string_of_int dst);
+          Buffer.add_char buf '*';
+          Buffer.add_string buf (string_of_int cap))
+        inner)
+    g.succ;
+  Buffer.contents buf
+
 let pp fmt g =
   Format.fprintf fmt "@[<v>vertices: %a@,edges:@," Vset.pp g.verts;
   List.iter (fun (s, d, c) -> Format.fprintf fmt "  %d -> %d (cap %d)@," s d c) (edges g);

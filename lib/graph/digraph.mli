@@ -63,6 +63,12 @@ val subgraph_p : t -> sub:t -> bool
 
 val equal : t -> t -> bool
 
+val fingerprint : t -> string
+(** A canonical content key: two graphs have the same fingerprint iff they
+    are {!equal}. Used (together with the other inputs of a computation) to
+    key plan caches ({!Nab_util.Plan_cache}), so structurally-equal graphs
+    built through different histories share cached plans. *)
+
 val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Folds over (src, dst, cap). *)
 

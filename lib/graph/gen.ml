@@ -74,15 +74,19 @@ let random_connected ~n ~p ~min_cap ~max_cap ~seed =
 let random_bb_feasible ~n ~f ~p ~min_cap ~max_cap ~seed =
   if n < (3 * f) + 1 then invalid_arg "Gen.random_bb_feasible: need n >= 3f+1";
   let st = Random.State.make [| seed; n; f; min_cap; max_cap |] in
-  let rec go tries =
-    if tries > 10_000 then
-      invalid_arg "Gen.random_bb_feasible: p too small for 2f+1 connectivity"
+  (* When [p] is too sparse to reach 2f+1 connectivity within the try
+     budget, escalate the density instead of raising: a complete graph on
+     n >= 3f+1 nodes has connectivity n - 1 >= 3f, so termination is
+     guaranteed. Seeds that succeed at the requested density consume the
+     same randomness as before, so their graphs are unchanged. *)
+  let rec go p tries =
+    if tries > 10_000 then go (Float.min 1.0 (p +. 0.25)) 0
     else
       let g = random_once st ~n ~p ~min_cap ~max_cap in
       if Digraph.is_strongly_connected g && Connectivity.meets_requirement g ~f then g
-      else go (tries + 1)
+      else go p (tries + 1)
   in
-  go 0
+  go p 0
 
 let dumbbell ~clique ~clique_cap ~bridge_cap =
   if clique < 3 then invalid_arg "Gen.dumbbell: cliques need >= 3 nodes";

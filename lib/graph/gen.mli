@@ -38,7 +38,11 @@ val random_connected :
 val random_bb_feasible :
   n:int -> f:int -> p:float -> min_cap:int -> max_cap:int -> seed:int -> Digraph.t
 (** Like {!random_connected} but resampled until vertex connectivity is at
-    least 2f+1 (and n >= 3f+1 is checked), so BB is solvable on it. *)
+    least 2f+1 (and n >= 3f+1 is checked), so BB is solvable on it. Always
+    terminates: if [p] is too sparse to reach that connectivity within the
+    internal try budget, the density is escalated (eventually to a complete
+    graph, whose connectivity n - 1 >= 3f suffices). Deterministic per
+    seed; seeds feasible at the requested [p] are unaffected. *)
 
 val dumbbell : clique:int -> clique_cap:int -> bridge_cap:int -> Digraph.t
 (** Two complete cliques of [clique] nodes each, joined by 3 bridges of the

@@ -19,40 +19,194 @@ type phase_stat = {
   extra : float;
 }
 
+(* ---------------------------- compiled core ----------------------------
+
+   [create] compiles the digraph once into dense vertex/edge-indexed
+   arrays; [round] then runs entirely on integer indices — no per-message
+   map lookups, no per-round hashtables. The delivered-message semantics
+   (inbox ordering, delayed arrivals, drop accounting, trace sampling) are
+   byte-identical to the pre-compilation implementation; test/test_net.ml
+   keeps a verbatim copy of that implementation and checks the two
+   differentially on random graphs. *)
+
+type compiled = {
+  nv : int;
+  ne : int;
+  vid : int array; (* dense index -> vertex id, ascending *)
+  (* vertex id -> dense index. Contiguous-ish id ranges (the common case)
+     use a direct offset table; pathological ranges fall back to hashing. *)
+  idx_base : int;
+  idx_direct : int array; (* (id - idx_base) -> index, -1 absent; [||] = hashed *)
+  idx_tbl : (int, int) Hashtbl.t;
+  (* Edges in (src, dst) lexicographic order — the order every sorted
+     accessor (link_bits, utilization) reports in. *)
+  e_src_id : int array;
+  e_dst_id : int array;
+  e_dst : int array; (* dense destination index per edge *)
+  e_capf : float array;
+  e_delay : int array; (* max 0 (delays (src, dst)), resolved at compile time *)
+  (* (src index * nv + dst index) -> edge id. Dense matrix for small
+     graphs, hashtable above [dense_limit] vertices. *)
+  eid_dense : int array;
+  eid_tbl : (int, int) Hashtbl.t;
+}
+
+let dense_vertex_span = 65536
+let dense_edge_limit = 512 (* nv <= this: the nv^2 edge matrix stays small *)
+
+let vertex_index c v =
+  if Array.length c.idx_direct > 0 then begin
+    let o = v - c.idx_base in
+    if o < 0 || o >= Array.length c.idx_direct then -1 else c.idx_direct.(o)
+  end
+  else match Hashtbl.find_opt c.idx_tbl v with Some i -> i | None -> -1
+
+(* The edge id of (src, dst), or -1 when the link (or either endpoint)
+   does not exist — the single lookup that replaces the old
+   mem_edge/cap/link_bits/link_total hashtable quadruple. *)
+let edge_id c src dst =
+  let si = vertex_index c src in
+  if si < 0 then -1
+  else begin
+    let di = vertex_index c dst in
+    if di < 0 then -1
+    else begin
+      let key = (si * c.nv) + di in
+      if Array.length c.eid_dense > 0 then c.eid_dense.(key)
+      else match Hashtbl.find_opt c.eid_tbl key with Some e -> e | None -> -1
+    end
+  end
+
+let compile ~delays g =
+  let vid = Array.of_list (Digraph.vertices g) in
+  let nv = Array.length vid in
+  let idx_tbl = Hashtbl.create (max 16 nv) in
+  let idx_base, idx_direct =
+    if nv = 0 then (0, [||])
+    else begin
+      let lo = vid.(0) and hi = vid.(nv - 1) in
+      let span = hi - lo + 1 in
+      if span > 0 && (span <= dense_vertex_span || span <= 64 * nv) then begin
+        let a = Array.make span (-1) in
+        Array.iteri (fun i v -> a.(v - lo) <- i) vid;
+        (lo, a)
+      end
+      else begin
+        Array.iteri (fun i v -> Hashtbl.replace idx_tbl v i) vid;
+        (0, [||])
+      end
+    end
+  in
+  let edges = Array.of_list (Digraph.edges g) in
+  let ne = Array.length edges in
+  let e_src_id = Array.make ne 0 in
+  let e_dst_id = Array.make ne 0 in
+  let e_dst = Array.make ne 0 in
+  let e_capf = Array.make ne 0.0 in
+  let e_delay = Array.make ne 0 in
+  let use_dense = nv > 0 && nv <= dense_edge_limit in
+  let eid_dense = if use_dense then Array.make (nv * nv) (-1) else [||] in
+  let eid_tbl = Hashtbl.create (if use_dense then 1 else max 16 ne) in
+  let lookup v =
+    if Array.length idx_direct > 0 then idx_direct.(v - idx_base)
+    else Hashtbl.find idx_tbl v
+  in
+  Array.iteri
+    (fun e (src, dst, cap) ->
+      let si = lookup src and di = lookup dst in
+      e_src_id.(e) <- src;
+      e_dst_id.(e) <- dst;
+      e_dst.(e) <- di;
+      e_capf.(e) <- float_of_int cap;
+      e_delay.(e) <- max 0 (delays (src, dst));
+      let key = (si * nv) + di in
+      if use_dense then eid_dense.(key) <- e else Hashtbl.replace eid_tbl key e)
+    edges;
+  {
+    nv;
+    ne;
+    vid;
+    idx_base;
+    idx_direct;
+    idx_tbl;
+    e_src_id;
+    e_dst_id;
+    e_dst;
+    e_capf;
+    e_delay;
+    eid_dense;
+    eid_tbl;
+  }
+
 type 'm t = {
   g : Digraph.t;
+  c : compiled;
   bits : 'm -> int;
-  delays : int * int -> int;
   obs : Nab_obs.ctx;
+  keep_events : bool;
   mutable round_no : int;
   mutable msg_no : int; (* delivered-message counter, for trace sampling *)
-  mutable evs : 'm event list; (* reversed *)
+  mutable evs : 'm event list; (* reversed; only grown when keep_events *)
   mutable dropped : int;
-  link_total : (int * int, int) Hashtbl.t;
+  link_total : int array; (* per edge, whole run *)
   phases : (string, phase_acc) Hashtbl.t;
   mutable phase_order : string list; (* reversed *)
   pending : (int, (int * int * 'm) list) Hashtbl.t;
       (* due round -> (src, dst, msg): in-flight messages on delayed links *)
+  (* --- per-round scratch, reset via the touched lists below --- *)
+  round_bits : int array; (* per edge *)
+  touched : int array; (* edge ids with round_bits > 0 this round *)
+  mutable n_touched : int;
+  (* Per destination index: the inbox under construction. Senders are
+     scanned in ascending order, so immediate deliveries arrive already
+     grouped by sender — groups are appended, messages within a group are
+     consed (the pre-rewrite cons-then-stable-sort produced exactly
+     ascending sender groups with reverse delivery order inside). Rounds
+     with delayed arrivals fall back to the verbatim legacy construction
+     (ib_flag / ib_legacy). *)
+  ib_open : bool array; (* a sender group is open *)
+  ib_src : int array; (* sender id of the open group *)
+  ib_group : (int * 'm) list array; (* open group, consed *)
+  ib_done : (int * 'm) list array; (* closed groups, reverse final order *)
+  ib_flag : bool array; (* destination got delayed arrivals this round *)
+  ib_legacy : (int * 'm) list array; (* cons-in-delivery-order fallback *)
+  dst_touched : int array;
+  mutable n_dst : int;
 }
 
-let create ?(delays = fun _ -> 0) ?(obs = Nab_obs.null) g ~bits =
+let create ?(delays = fun _ -> 0) ?(obs = Nab_obs.null) ?(keep_events = false) g
+    ~bits =
+  let c = compile ~delays g in
   {
     g;
+    c;
     bits;
-    delays;
     obs;
+    keep_events;
     round_no = 0;
     msg_no = 0;
     evs = [];
     dropped = 0;
-    link_total = Hashtbl.create 32;
+    link_total = Array.make c.ne 0;
     phases = Hashtbl.create 8;
     phase_order = [];
     pending = Hashtbl.create 8;
+    round_bits = Array.make c.ne 0;
+    touched = Array.make c.ne 0;
+    n_touched = 0;
+    ib_open = Array.make c.nv false;
+    ib_src = Array.make c.nv 0;
+    ib_group = Array.make c.nv [];
+    ib_done = Array.make c.nv [];
+    ib_flag = Array.make c.nv false;
+    ib_legacy = Array.make c.nv [];
+    dst_touched = Array.make c.nv 0;
+    n_dst = 0;
   }
 
 let graph t = t.g
 let obs t = t.obs
+let keeps_events t = t.keep_events
 
 let phase_acc t name =
   match Hashtbl.find_opt t.phases name with
@@ -71,12 +225,10 @@ let round t ~phase outbox =
   t.round_no <- t.round_no + 1;
   let round_no = t.round_no in
   let sample = Nab_obs.sample_messages t.obs in
-  let link_bits = Hashtbl.create 16 in
-  let inboxes : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
-  let into_inbox src dst msg =
-    Hashtbl.replace inboxes dst
-      ((src, msg) :: (try Hashtbl.find inboxes dst with Not_found -> []));
-    t.evs <- { round_no; ev_phase = phase; src; dst; msg } :: t.evs;
+  let c = t.c in
+  let record_delivery src dst msg =
+    if t.keep_events then
+      t.evs <- { round_no; ev_phase = phase; src; dst; msg } :: t.evs;
     t.msg_no <- t.msg_no + 1;
     if sample > 0 && t.msg_no mod sample = 0 then
       Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
@@ -90,20 +242,62 @@ let round t ~phase outbox =
           ]
         "msg"
   in
+  let touch_dst di =
+    t.dst_touched.(t.n_dst) <- di;
+    t.n_dst <- t.n_dst + 1
+  in
+  (* Messages whose propagation delay elapses this round arrive first;
+     their destinations use the legacy inbox construction for the rest of
+     the round (senders of delayed messages are not sorted). *)
+  (match Hashtbl.find_opt t.pending round_no with
+  | Some arrivals ->
+      List.iter
+        (fun (src, dst, msg) ->
+          let di = vertex_index c dst in
+          if not t.ib_flag.(di) then begin
+            t.ib_flag.(di) <- true;
+            touch_dst di
+          end;
+          t.ib_legacy.(di) <- (src, msg) :: t.ib_legacy.(di);
+          record_delivery src dst msg)
+        (List.rev arrivals);
+      Hashtbl.remove t.pending round_no
+  | None -> ());
+  let deliver_now di src dst msg =
+    (if t.ib_flag.(di) then t.ib_legacy.(di) <- (src, msg) :: t.ib_legacy.(di)
+     else begin
+       if not t.ib_open.(di) then begin
+         t.ib_open.(di) <- true;
+         t.ib_src.(di) <- src;
+         touch_dst di
+       end
+       else if t.ib_src.(di) <> src then begin
+         t.ib_done.(di) <- List.rev_append t.ib_group.(di) t.ib_done.(di);
+         t.ib_group.(di) <- [];
+         t.ib_src.(di) <- src
+       end;
+       t.ib_group.(di) <- (src, msg) :: t.ib_group.(di)
+     end);
+    record_delivery src dst msg
+  in
   let deliver src dst msg =
-    if Digraph.mem_edge t.g src dst then begin
+    let e = edge_id c src dst in
+    if e >= 0 then begin
       let b = t.bits msg in
       if b <= 0 then invalid_arg "Sim.round: message with non-positive bit size";
-      Hashtbl.replace link_bits (src, dst)
-        (b + try Hashtbl.find link_bits (src, dst) with Not_found -> 0);
-      Hashtbl.replace t.link_total (src, dst)
-        (b + try Hashtbl.find t.link_total (src, dst) with Not_found -> 0);
-      let d = max 0 (t.delays (src, dst)) in
-      if d = 0 then into_inbox src dst msg
+      if t.round_bits.(e) = 0 then begin
+        t.touched.(t.n_touched) <- e;
+        t.n_touched <- t.n_touched + 1
+      end;
+      t.round_bits.(e) <- t.round_bits.(e) + b;
+      t.link_total.(e) <- t.link_total.(e) + b;
+      let d = c.e_delay.(e) in
+      if d = 0 then deliver_now c.e_dst.(e) src dst msg
       else begin
         let due = round_no + d in
         Hashtbl.replace t.pending due
-          ((src, dst, msg) :: (try Hashtbl.find t.pending due with Not_found -> []))
+          ((src, dst, msg)
+          :: (match Hashtbl.find_opt t.pending due with Some l -> l | None -> []))
       end
     end
     else begin
@@ -111,23 +305,20 @@ let round t ~phase outbox =
       Nab_obs.add t.obs "sim.dropped" 1
     end
   in
-  (* Messages whose propagation delay elapses this round arrive first. *)
-  (match Hashtbl.find_opt t.pending round_no with
-  | Some arrivals ->
-      List.iter (fun (src, dst, msg) -> into_inbox src dst msg) (List.rev arrivals);
-      Hashtbl.remove t.pending round_no
-  | None -> ());
-  List.iter
-    (fun v -> List.iter (fun (dst, msg) -> deliver v dst msg) (outbox v))
-    (Digraph.vertices t.g);
+  for ui = 0 to c.nv - 1 do
+    let v = c.vid.(ui) in
+    List.iter (fun (dst, msg) -> deliver v dst msg) (outbox v)
+  done;
   (* Round duration: slowest link. *)
-  let duration =
-    Hashtbl.fold
-      (fun (src, dst) b acc ->
-        Float.max acc (float_of_int b /. float_of_int (Digraph.cap t.g src dst)))
-      link_bits 0.0
-  in
-  let bits_this_round = Hashtbl.fold (fun _ b acc -> acc + b) link_bits 0 in
+  let duration = ref 0.0 in
+  let bits_this_round = ref 0 in
+  for i = 0 to t.n_touched - 1 do
+    let e = t.touched.(i) in
+    let b = t.round_bits.(e) in
+    bits_this_round := !bits_this_round + b;
+    duration := Float.max !duration (float_of_int b /. c.e_capf.(e))
+  done;
+  let duration = !duration and bits_this_round = !bits_this_round in
   acc.p_rounds <- acc.p_rounds + 1;
   acc.p_wall <- acc.p_wall +. duration;
   acc.p_bottleneck <- Float.max acc.p_bottleneck duration;
@@ -145,9 +336,36 @@ let round t ~phase outbox =
     Nab_obs.add t.obs "sim.rounds" 1;
     Nab_obs.add t.obs "sim.bits" bits_this_round
   end;
+  (* Materialise the inboxes (the returned closure stays valid across later
+     rounds, as before) and reset the scratch arrays for the next round. *)
+  let res = Array.make c.nv [] in
+  for i = 0 to t.n_dst - 1 do
+    let di = t.dst_touched.(i) in
+    (if t.ib_flag.(di) then
+       (* Delayed arrivals mixed in: replicate the pre-rewrite
+          cons-then-stable-sort construction verbatim. *)
+       res.(di) <- List.stable_sort (fun (a, _) (b, _) -> compare a b) t.ib_legacy.(di)
+     else begin
+       let done_rev =
+         if t.ib_open.(di) then List.rev_append t.ib_group.(di) t.ib_done.(di)
+         else t.ib_done.(di)
+       in
+       res.(di) <- List.rev done_rev
+     end);
+    t.ib_flag.(di) <- false;
+    t.ib_open.(di) <- false;
+    t.ib_group.(di) <- [];
+    t.ib_done.(di) <- [];
+    t.ib_legacy.(di) <- []
+  done;
+  t.n_dst <- 0;
+  for i = 0 to t.n_touched - 1 do
+    t.round_bits.(t.touched.(i)) <- 0
+  done;
+  t.n_touched <- 0;
   fun v ->
-    (try Hashtbl.find inboxes v with Not_found -> [])
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    let di = vertex_index c v in
+    if di < 0 then [] else res.(di)
 
 let pending_count t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.pending 0
 
@@ -200,7 +418,13 @@ let timing t =
   { wall = elapsed t; pipelined = pipelined_elapsed t; phases = phase_stats t }
 
 let link_bits t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.link_total [] |> List.sort compare
+  let c = t.c in
+  let acc = ref [] in
+  for e = c.ne - 1 downto 0 do
+    let b = t.link_total.(e) in
+    if b > 0 then acc := ((c.e_src_id.(e), c.e_dst_id.(e)), b) :: !acc
+  done;
+  !acc
 
 let dropped t = t.dropped
 
@@ -210,16 +434,19 @@ let utilization t =
      carried bits, at utilisation 0.0 — the empty list is reserved for "no
      traffic at all". *)
   let wall = elapsed t in
-  Hashtbl.fold
-    (fun (src, dst) bits acc ->
+  let c = t.c in
+  let acc = ref [] in
+  for e = c.ne - 1 downto 0 do
+    let b = t.link_total.(e) in
+    if b > 0 then begin
       let u =
-        if wall <= 0.0 then 0.0
-        else
-          float_of_int bits /. (float_of_int (Digraph.cap t.g src dst) *. wall)
+        if wall <= 0.0 then 0.0 else float_of_int b /. (c.e_capf.(e) *. wall)
       in
-      ((src, dst), u) :: acc)
-    t.link_total []
-  |> List.sort compare
+      acc := ((c.e_src_id.(e), c.e_dst_id.(e)), u) :: !acc
+    end
+  done;
+  !acc
+
 let events t = List.rev t.evs
 let events_of_phase t phase = List.filter (fun e -> e.ev_phase = phase) (events t)
 let rounds_run t = t.round_no

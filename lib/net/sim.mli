@@ -14,13 +14,22 @@
     sum of round durations and the bottleneck (max) round duration are
     tracked. The bottleneck value is the steady-state per-instance cost under
     the paper's Figure-3 pipelining, where successive instances overlap with
-    one round per hop. *)
+    one round per hop.
+
+    Implementation model: {!create} compiles the digraph once into dense
+    vertex- and edge-indexed arrays (a direct id->index table, edge arrays
+    in (src, dst) order carrying capacity and propagation delay, and an
+    O(1) link-id lookup); {!round} runs on preallocated per-edge and
+    per-vertex scratch reset via touched lists, so steady-state rounds
+    allocate only the inboxes they return. The observable semantics are
+    identical to a naive per-round map-based fabric. *)
 
 type 'm t
 
 val create :
   ?delays:(int * int -> int) ->
   ?obs:Nab_obs.ctx ->
+  ?keep_events:bool ->
   Nab_graph.Digraph.t ->
   bits:('m -> int) ->
   'm t
@@ -30,13 +39,23 @@ val create :
     in round r is delivered by the (r + delay)-th call to {!round}. The
     paper assumes zero delays and notes that relaxing this does not affect
     correctness (footnote 1, Appendix D); the delayed mode lets tests and
-    benchmarks check that claim on the data plane.
+    benchmarks check that claim on the data plane. [delays] is evaluated
+    once per existing link at creation time (the network is compiled into a
+    flat form); it must be a pure function of the link.
+
+    [keep_events] (default [false]) retains the full delivery trace for
+    {!events}/{!events_of_phase}. Retention is unbounded — memory grows
+    with every delivered message — so it is off by default and switched on
+    only by callers that read the trace back (e.g. dispute control drawing
+    honest claims from it). Campaign-scale runs leave it off. Note this
+    default changed: the fabric previously always retained events.
 
     [obs] (default {!Nab_obs.null}) receives, in scope ["sim"], one
     ["round"] point event per executed round (phase, round number, bits,
     duration) and — when the context was made with [~sample_messages:s] —
     every s-th delivered message as a ["msg"] event. All timestamps are
-    simulated time, so traces are deterministic. *)
+    simulated time, so traces are deterministic. Observation is independent
+    of [keep_events]. *)
 
 val graph : 'm t -> Nab_graph.Digraph.t
 
@@ -130,7 +149,13 @@ type 'm event = { round_no : int; ev_phase : string; src : int; dst : int; msg :
 
 val events : 'm t -> 'm event list
 (** Full delivery trace in chronological order — the ground truth that
-    honest nodes' dispute-control claims are drawn from. *)
+    honest nodes' dispute-control claims are drawn from. Empty unless the
+    simulator was created with [~keep_events:true]. *)
 
 val events_of_phase : 'm t -> string -> 'm event list
+(** The trace restricted to one phase; empty without [~keep_events:true]. *)
+
+val keeps_events : 'm t -> bool
+(** Whether this simulator retains its delivery trace ([keep_events]). *)
+
 val rounds_run : 'm t -> int

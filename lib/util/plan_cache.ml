@@ -1,0 +1,124 @@
+(* Domain-safe, single-flight memo tables keyed by content fingerprints.
+   Values must be pure functions of their key (so a hit is observably
+   identical to recomputation) and immutable (so sharing them across pool
+   domains is safe). *)
+
+type 'v entry = Done of 'v | Building
+
+type 'v t = {
+  name : string;
+  lock : Mutex.t;
+  settled : Condition.t; (* some Building entry became Done (or vanished) *)
+  tbl : (string, 'v entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+(* The registry powers clear_all/global_stats across heterogeneous value
+   types, so it stores closures rather than the caches themselves. *)
+let registry_lock = Mutex.create ()
+let registry : (string * (unit -> unit) * (unit -> stats)) list ref = ref []
+
+let stats t =
+  Mutex.lock t.lock;
+  let entries =
+    Hashtbl.fold (fun _ e n -> match e with Done _ -> n + 1 | Building -> n) t.tbl 0
+  in
+  let s = { hits = t.hits; misses = t.misses; entries } in
+  Mutex.unlock t.lock;
+  s
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0;
+  (* Waiters on a vanished Building entry must wake up and compute for
+     themselves. *)
+  Condition.broadcast t.settled;
+  Mutex.unlock t.lock
+
+let create ~name () =
+  let t =
+    {
+      name;
+      lock = Mutex.create ();
+      settled = Condition.create ();
+      tbl = Hashtbl.create 32;
+      hits = 0;
+      misses = 0;
+    }
+  in
+  Mutex.lock registry_lock;
+  registry := (name, (fun () -> clear t), (fun () -> stats t)) :: !registry;
+  Mutex.unlock registry_lock;
+  t
+
+let find t ~key =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) -> Some v
+    | Some Building | None -> None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let find_or_compute t ~key f =
+  Mutex.lock t.lock;
+  let counted = ref false in
+  let count_miss () =
+    if not !counted then begin
+      t.misses <- t.misses + 1;
+      counted := true
+    end
+  in
+  let rec await () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) ->
+        if not !counted then t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        v
+    | Some Building ->
+        (* Another domain is computing this key: wait rather than duplicate
+           the work. The builder always makes progress on its own domain
+           (Pool's batch wait is help-first), so this cannot deadlock. *)
+        count_miss ();
+        Condition.wait t.settled t.lock;
+        await ()
+    | None ->
+        count_miss ();
+        Hashtbl.replace t.tbl key Building;
+        Mutex.unlock t.lock;
+        (match f () with
+        | v ->
+            Mutex.lock t.lock;
+            Hashtbl.replace t.tbl key (Done v);
+            Condition.broadcast t.settled;
+            Mutex.unlock t.lock;
+            v
+        | exception e ->
+            Mutex.lock t.lock;
+            (match Hashtbl.find_opt t.tbl key with
+            | Some Building -> Hashtbl.remove t.tbl key
+            | Some (Done _) | None -> ());
+            Condition.broadcast t.settled;
+            Mutex.unlock t.lock;
+            raise e)
+  in
+  await ()
+
+let snapshot_registry () =
+  Mutex.lock registry_lock;
+  let r = !registry in
+  Mutex.unlock registry_lock;
+  r
+
+let clear_all () = List.iter (fun (_, clear, _) -> clear ()) (snapshot_registry ())
+
+let global_stats () =
+  snapshot_registry ()
+  |> List.map (fun (name, _, stats) -> (name, stats ()))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

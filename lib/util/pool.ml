@@ -1,19 +1,29 @@
 (* Lazily-spawned, process-lifetime domain pool. Results are always keyed
    by input index, so parallel maps are observably identical to List.map;
-   the caller of a batch executes queued tasks while it waits, which makes
-   nested maps deadlock-free (whoever waits, works). *)
+   the caller of a batch executes queued tasks of ITS OWN batch while it
+   waits, which makes nested maps deadlock-free (whoever waits, works on
+   what it is waiting for).
+
+   The restriction to the caller's own batch is load-bearing: a caller that
+   stole arbitrary queued tasks could capture, under a stack frame that
+   logically owns a single-flight cache slot (Plan_cache's Building state),
+   an unrelated task that blocks waiting for that very slot — or two
+   builders could each capture a task waiting on the other's slot. Either
+   way every domain sleeps and the process deadlocks. Own-batch helping
+   keeps the wait-for graph a tree: a builder's nested batches contain no
+   cache waits, so builders terminate and cache waiters always wake. *)
+
+type batch = { mutable remaining : int; mutable failure : (int * exn) option }
 
 type pool = {
   lock : Mutex.t;
   work : Condition.t; (* the queue may have become non-empty *)
   settled : Condition.t; (* some batch reached remaining = 0 *)
-  queue : (unit -> unit) Queue.t;
+  queue : (batch * (unit -> unit)) Queue.t;
   mutable workers : int;
   mutable handles : unit Domain.t list;
   mutable shutdown : bool;
 }
-
-type batch = { mutable remaining : int; mutable failure : (int * exn) option }
 
 let pool =
   {
@@ -68,7 +78,7 @@ let rec worker_loop () =
   | None ->
       (* shutdown with an empty queue *)
       Mutex.unlock pool.lock
-  | Some task ->
+  | Some (_, task) ->
       Mutex.unlock pool.lock;
       task ();
       worker_loop ()
@@ -144,13 +154,30 @@ let run_batch n task_of =
   in
   Mutex.lock pool.lock;
   for i = 0 to n - 1 do
-    Queue.add (task i) pool.queue
+    Queue.add (b, task i) pool.queue
   done;
   Condition.broadcast pool.work;
-  (* Help-first wait: run queued tasks (ours or a nested batch's) until this
-     batch settles; only block when the queue is momentarily empty. *)
+  (* Help-first wait: run queued tasks of THIS batch until it settles (see
+     the header comment for why stealing other batches' tasks deadlocks);
+     block when none of ours are queued. Skipped tasks are rotated to the
+     back, which is fine because results are keyed by index, not order. *)
+  let take_own () =
+    let rec find n =
+      if n = 0 then None
+      else
+        match Queue.take_opt pool.queue with
+        | None -> None
+        | Some ((b', t) as item) ->
+            if b' == b then Some t
+            else begin
+              Queue.add item pool.queue;
+              find (n - 1)
+            end
+    in
+    find (Queue.length pool.queue)
+  in
   while b.remaining > 0 do
-    match Queue.take_opt pool.queue with
+    match take_own () with
     | Some t ->
         Mutex.unlock pool.lock;
         t ();

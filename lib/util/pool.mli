@@ -3,9 +3,13 @@
     Built on OCaml 5 [Domain]/[Mutex]/[Condition] only (domainslib is not in
     the dependency set). Worker domains are spawned lazily on the first
     parallel {!map} and are reused for the rest of the process; a batch's
-    caller also executes queued tasks while it waits, so nested {!map} calls
-    (a parallel sweep whose tasks themselves call a parallel analytic) cannot
-    deadlock: whoever waits, works.
+    caller also executes queued tasks of its own batch while it waits, so
+    nested {!map} calls (a parallel sweep whose tasks themselves call a
+    parallel analytic) cannot deadlock: whoever waits, works on what it is
+    waiting for. Callers never steal {e other} batches' tasks — stealing an
+    arbitrary task could bury, under a frame that owns a single-flight
+    {!Plan_cache} slot, work that blocks on that same slot (see the
+    rationale in [pool.ml]).
 
     {2 Determinism contract}
 

@@ -94,6 +94,101 @@ let test_quick_matches_baseline () =
       let d = Runner.diff_rows ~baseline:base ~current:rows in
       Alcotest.(check bool) "diff_rows agrees" true (Runner.diff_is_empty d)
 
+(* ---- plan cache ---- *)
+
+let test_plan_cache_basics () =
+  let cache : int Nab_util.Plan_cache.t =
+    Nab_util.Plan_cache.create ~name:"test.basics" ()
+  in
+  let calls = ref 0 in
+  let f () = incr calls; 42 in
+  Alcotest.(check int) "computed" 42 (Nab_util.Plan_cache.find_or_compute cache ~key:"k" f);
+  Alcotest.(check int) "served from cache" 42
+    (Nab_util.Plan_cache.find_or_compute cache ~key:"k" f);
+  Alcotest.(check int) "f ran once" 1 !calls;
+  Alcotest.(check (option int)) "peek hit" (Some 42) (Nab_util.Plan_cache.find cache ~key:"k");
+  Alcotest.(check (option int)) "peek miss" None (Nab_util.Plan_cache.find cache ~key:"absent");
+  let s = Nab_util.Plan_cache.stats cache in
+  Alcotest.(check int) "hits" 1 s.Nab_util.Plan_cache.hits;
+  Alcotest.(check int) "misses" 1 s.Nab_util.Plan_cache.misses;
+  Alcotest.(check int) "entries" 1 s.Nab_util.Plan_cache.entries;
+  (* a failing builder leaves no entry behind and the next call retries *)
+  (try
+     ignore
+       (Nab_util.Plan_cache.find_or_compute cache ~key:"boom" (fun () ->
+            failwith "builder failed"));
+     Alcotest.fail "exception swallowed"
+   with Failure _ -> ());
+  Alcotest.(check int) "retry recomputes" 7
+    (Nab_util.Plan_cache.find_or_compute cache ~key:"boom" (fun () -> 7));
+  Nab_util.Plan_cache.clear cache;
+  let s = Nab_util.Plan_cache.stats cache in
+  Alcotest.(check int) "cleared entries" 0 s.Nab_util.Plan_cache.entries;
+  Alcotest.(check int) "cleared hits" 0 s.Nab_util.Plan_cache.hits;
+  Alcotest.(check bool) "registered in global stats" true
+    (List.mem_assoc "test.basics" (Nab_util.Plan_cache.global_stats ()))
+
+let test_plan_cache_single_flight () =
+  (* Many domains racing on the same missing key: the builder runs exactly
+     once and everybody observes its value. *)
+  let cache : int Nab_util.Plan_cache.t =
+    Nab_util.Plan_cache.create ~name:"test.single-flight" ()
+  in
+  let builds = Atomic.make 0 in
+  let started = Atomic.make 0 in
+  let build () =
+    Atomic.incr builds;
+    (* keep the builder busy long enough for every racer to arrive *)
+    let x = ref 0 in
+    for i = 0 to 5_000_000 do
+      x := !x + Sys.opaque_identity i
+    done;
+    ignore (Sys.opaque_identity !x);
+    1234
+  in
+  let domains =
+    List.init 6 (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr started;
+            while Atomic.get started < 6 do
+              Domain.cpu_relax ()
+            done;
+            Nab_util.Plan_cache.find_or_compute cache ~key:"shared" build))
+  in
+  let results = List.map Domain.join domains in
+  Alcotest.(check (list int)) "all observed the one value" [ 1234; 1234; 1234; 1234; 1234; 1234 ]
+    results;
+  Alcotest.(check int) "built exactly once" 1 (Atomic.get builds)
+
+let warmup_independent_rows scenarios =
+  (* Helper: rows for [scenarios] at the given cache state, as JSONL. *)
+  jsonl (Runner.run_campaign ~jobs:1 scenarios)
+
+let test_campaign_cold_vs_warm () =
+  (* Campaign rows must be byte-identical whatever the plan caches hold:
+     cold process, warm process, and across job counts. *)
+  let scenarios =
+    Scenario.grid
+      ~adversaries:[ "none"; "ec-liar" ]
+      ~qs:[ 2 ]
+      [ Scenario.Complete { n = 4; cap = 2 }; Scenario.Chords { n = 6; cap = 2; chord_cap = 2 } ]
+  in
+  Nab_util.Plan_cache.clear_all ();
+  Params.clear_gamma_cache ();
+  let cold = warmup_independent_rows scenarios in
+  let misses_after_cold =
+    (List.assoc "nab.plan" (Nab_util.Plan_cache.global_stats ())).Nab_util.Plan_cache.misses
+  in
+  let warm = warmup_independent_rows scenarios in
+  let misses_after_warm =
+    (List.assoc "nab.plan" (Nab_util.Plan_cache.global_stats ())).Nab_util.Plan_cache.misses
+  in
+  Alcotest.(check string) "cold and warm rows byte-identical" cold warm;
+  Alcotest.(check int) "warm run planned nothing new" misses_after_cold misses_after_warm;
+  Alcotest.(check bool) "cold run did plan" true (misses_after_cold > 0);
+  let warm4 = jsonl (Runner.run_campaign ~jobs:4 scenarios) in
+  Alcotest.(check string) "warm jobs=4 rows byte-identical" cold warm4
+
 let test_diff_detects_changes () =
   let s1 = Scenario.make (Scenario.Complete { n = 4; cap = 2 }) () in
   let s2 = Scenario.make ~adversary:"ec-liar" (Scenario.Complete { n = 4; cap = 2 }) () in
@@ -205,6 +300,13 @@ let () =
           Alcotest.test_case "json roundtrip" `Quick test_scenario_roundtrip;
           Alcotest.test_case "quick ids unique" `Quick test_scenario_ids_unique;
           Alcotest.test_case "inputs match nab_cli" `Quick test_scenario_inputs_match_cli;
+        ] );
+      ( "plan-cache",
+        [
+          Alcotest.test_case "basics" `Quick test_plan_cache_basics;
+          Alcotest.test_case "single flight across domains" `Quick
+            test_plan_cache_single_flight;
+          Alcotest.test_case "campaign cold vs warm" `Quick test_campaign_cold_vs_warm;
         ] );
       ( "runner",
         [

@@ -130,7 +130,7 @@ let test_sim_phases () =
   Alcotest.(check (float 1e-9)) "elapsed includes extra" 12.0 ((Sim.timing sim).Sim.wall)
 
 let test_sim_events () =
-  let sim = Sim.create line_graph ~bits:Packet.bits in
+  let sim = Sim.create ~keep_events:true line_graph ~bits:Packet.bits in
   drop (Sim.round sim ~phase:"x" (fun v -> if v = 1 then [ (2, flag true) ] else []));
   drop (Sim.round sim ~phase:"y" (fun v -> if v = 2 then [ (3, flag false) ] else []));
   Alcotest.(check int) "two events" 2 (List.length (Sim.events sim));
@@ -141,6 +141,37 @@ let test_sim_events () =
       Alcotest.(check int) "round" 1 e.Sim.round_no
   | _ -> Alcotest.fail "expected exactly one event in phase x");
   Alcotest.(check int) "phase filter" 1 (List.length (Sim.events_of_phase sim "y"))
+
+let test_sim_events_off_by_default () =
+  (* Event retention is opt-in: without ~keep_events:true the trace stays
+     empty, while delivery and every counter keep working. *)
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  Alcotest.(check bool) "keeps_events off" false (Sim.keeps_events sim);
+  let inbox =
+    Sim.round sim ~phase:"x" (fun v ->
+        if v = 1 then [ (2, flag true); (3, flag true) ] else [])
+  in
+  Alcotest.(check int) "delivered" 1 (List.length (inbox 2));
+  Alcotest.(check int) "dropped still counted" 1 (Sim.dropped sim);
+  Alcotest.(check int) "no events retained" 0 (List.length (Sim.events sim));
+  Alcotest.(check int) "phase filter empty" 0 (List.length (Sim.events_of_phase sim "x"));
+  let sim_on = Sim.create ~keep_events:true line_graph ~bits:Packet.bits in
+  Alcotest.(check bool) "keeps_events on" true (Sim.keeps_events sim_on)
+
+let test_sim_same_sender_order () =
+  (* Same-sender messages arrive in reverse send order — the original
+     fabric consed deliveries and stable-sorted by sender; the compiled
+     core must reproduce that tie order exactly. *)
+  let sim = Sim.create line_graph ~bits:Packet.bits in
+  let msgs = [ big_packet 1; big_packet 2; big_packet 3 ] in
+  let inbox =
+    Sim.round sim ~phase:"p" (fun v ->
+        if v = 1 then List.map (fun m -> (2, m)) msgs else [])
+  in
+  Alcotest.(check int) "three" 3 (List.length (inbox 2));
+  Alcotest.(check bool) "reverse send order" true
+    (List.map snd (inbox 2) = List.rev msgs);
+  Alcotest.(check bool) "all from 1" true (List.for_all (fun (s, _) -> s = 1) (inbox 2))
 
 let test_sim_duration_property =
   QCheck_alcotest.to_alcotest
@@ -205,6 +236,339 @@ let test_sim_rejects_zero_bits () =
     (Invalid_argument "Sim.round: message with non-positive bit size") (fun () ->
       drop (Sim.round sim ~phase:"p" (fun v -> if v = 1 then [ (2, flag true) ] else [])))
 
+(* ---------- differential: compiled core vs reference fabric ----------
+
+   [Ref_sim] is the pre-compilation simulator, kept verbatim (per-round
+   hashtables, per-receiver sort, unconditional event retention). The
+   compiled core in lib/net/sim.ml must be observably byte-identical to it:
+   inbox contents and ordering (including same-sender ties and delayed
+   arrivals), drop counts, timings, per-link totals, utilisation, events.
+   Mirrors the Ref_gauss pattern in bench/kernels.ml. *)
+
+module Ref_sim = struct
+  [@@@warning "-32"]
+
+  type 'm event = { round_no : int; ev_phase : string; src : int; dst : int; msg : 'm }
+
+  type phase_acc = {
+    mutable p_rounds : int;
+    mutable p_wall : float;
+    mutable p_bottleneck : float;
+    mutable p_bits : int;
+    mutable p_extra : float;
+  }
+
+  type phase_stat = {
+    phase : string;
+    rounds : int;
+    wall : float;
+    bottleneck : float;
+    bits_total : int;
+    extra : float;
+  }
+
+  type 'm t = {
+    g : Digraph.t;
+    bits : 'm -> int;
+    delays : int * int -> int;
+    obs : Nab_obs.ctx;
+    mutable round_no : int;
+    mutable msg_no : int;
+    mutable evs : 'm event list; (* reversed *)
+    mutable dropped : int;
+    link_total : (int * int, int) Hashtbl.t;
+    phases : (string, phase_acc) Hashtbl.t;
+    mutable phase_order : string list; (* reversed *)
+    pending : (int, (int * int * 'm) list) Hashtbl.t;
+  }
+
+  let create ?(delays = fun _ -> 0) ?(obs = Nab_obs.null) g ~bits =
+    {
+      g;
+      bits;
+      delays;
+      obs;
+      round_no = 0;
+      msg_no = 0;
+      evs = [];
+      dropped = 0;
+      link_total = Hashtbl.create 32;
+      phases = Hashtbl.create 8;
+      phase_order = [];
+      pending = Hashtbl.create 8;
+    }
+
+  let phase_acc t name =
+    match Hashtbl.find_opt t.phases name with
+    | Some acc -> acc
+    | None ->
+        let acc =
+          { p_rounds = 0; p_wall = 0.0; p_bottleneck = 0.0; p_bits = 0; p_extra = 0.0 }
+        in
+        Hashtbl.add t.phases name acc;
+        t.phase_order <- name :: t.phase_order;
+        acc
+
+  let elapsed_phases t =
+    Hashtbl.fold (fun _ a acc -> acc +. a.p_wall +. a.p_extra) t.phases 0.0
+
+  let round t ~phase outbox =
+    let acc = phase_acc t phase in
+    t.round_no <- t.round_no + 1;
+    let round_no = t.round_no in
+    let sample = Nab_obs.sample_messages t.obs in
+    let link_bits = Hashtbl.create 16 in
+    let inboxes : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
+    let into_inbox src dst msg =
+      Hashtbl.replace inboxes dst
+        ((src, msg) :: (try Hashtbl.find inboxes dst with Not_found -> []));
+      t.evs <- { round_no; ev_phase = phase; src; dst; msg } :: t.evs;
+      t.msg_no <- t.msg_no + 1;
+      if sample > 0 && t.msg_no mod sample = 0 then
+        Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+          ~attrs:
+            [
+              ("phase", Nab_obs.S phase);
+              ("round", Nab_obs.I round_no);
+              ("src", Nab_obs.I src);
+              ("dst", Nab_obs.I dst);
+              ("bits", Nab_obs.I (t.bits msg));
+            ]
+          "msg"
+    in
+    let deliver src dst msg =
+      if Digraph.mem_edge t.g src dst then begin
+        let b = t.bits msg in
+        if b <= 0 then invalid_arg "Sim.round: message with non-positive bit size";
+        Hashtbl.replace link_bits (src, dst)
+          (b + try Hashtbl.find link_bits (src, dst) with Not_found -> 0);
+        Hashtbl.replace t.link_total (src, dst)
+          (b + try Hashtbl.find t.link_total (src, dst) with Not_found -> 0);
+        let d = max 0 (t.delays (src, dst)) in
+        if d = 0 then into_inbox src dst msg
+        else begin
+          let due = round_no + d in
+          Hashtbl.replace t.pending due
+            ((src, dst, msg) :: (try Hashtbl.find t.pending due with Not_found -> []))
+        end
+      end
+      else begin
+        t.dropped <- t.dropped + 1;
+        Nab_obs.add t.obs "sim.dropped" 1
+      end
+    in
+    (match Hashtbl.find_opt t.pending round_no with
+    | Some arrivals ->
+        List.iter (fun (src, dst, msg) -> into_inbox src dst msg) (List.rev arrivals);
+        Hashtbl.remove t.pending round_no
+    | None -> ());
+    List.iter
+      (fun v -> List.iter (fun (dst, msg) -> deliver v dst msg) (outbox v))
+      (Digraph.vertices t.g);
+    let duration =
+      Hashtbl.fold
+        (fun (src, dst) b acc ->
+          Float.max acc (float_of_int b /. float_of_int (Digraph.cap t.g src dst)))
+        link_bits 0.0
+    in
+    let bits_this_round = Hashtbl.fold (fun _ b acc -> acc + b) link_bits 0 in
+    acc.p_rounds <- acc.p_rounds + 1;
+    acc.p_wall <- acc.p_wall +. duration;
+    acc.p_bottleneck <- Float.max acc.p_bottleneck duration;
+    acc.p_bits <- acc.p_bits + bits_this_round;
+    if Nab_obs.enabled t.obs then begin
+      Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+        ~attrs:
+          [
+            ("phase", Nab_obs.S phase);
+            ("round", Nab_obs.I round_no);
+            ("bits", Nab_obs.I bits_this_round);
+            ("duration", Nab_obs.F duration);
+          ]
+        "round";
+      Nab_obs.add t.obs "sim.rounds" 1;
+      Nab_obs.add t.obs "sim.bits" bits_this_round
+    end;
+    fun v ->
+      (try Hashtbl.find inboxes v with Not_found -> [])
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let pending_count t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.pending 0
+
+  let drain t ~phase =
+    let merged : (int, (int * 'm) list) Hashtbl.t = Hashtbl.create 16 in
+    while pending_count t > 0 do
+      let inbox = round t ~phase (fun _ -> []) in
+      List.iter
+        (fun v ->
+          match inbox v with
+          | [] -> ()
+          | arrivals ->
+              Hashtbl.replace merged v
+                ((try Hashtbl.find merged v with Not_found -> []) @ arrivals))
+        (Digraph.vertices t.g)
+    done;
+    fun v -> try Hashtbl.find merged v with Not_found -> []
+
+  let add_cost t ~phase c =
+    let acc = phase_acc t phase in
+    acc.p_extra <- acc.p_extra +. c
+
+  let phase_stats t =
+    List.rev_map
+      (fun name ->
+        let a = Hashtbl.find t.phases name in
+        {
+          phase = name;
+          rounds = a.p_rounds;
+          wall = a.p_wall;
+          bottleneck = a.p_bottleneck;
+          bits_total = a.p_bits;
+          extra = a.p_extra;
+        })
+      t.phase_order
+
+  let elapsed t =
+    List.fold_left (fun acc s -> acc +. s.wall +. s.extra) 0.0 (phase_stats t)
+
+  let pipelined_elapsed t =
+    List.fold_left (fun acc s -> acc +. s.bottleneck +. s.extra) 0.0 (phase_stats t)
+
+  type timing = { wall : float; pipelined : float; phases : phase_stat list }
+
+  let timing t =
+    { wall = elapsed t; pipelined = pipelined_elapsed t; phases = phase_stats t }
+
+  let link_bits t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.link_total [] |> List.sort compare
+
+  let dropped t = t.dropped
+
+  let utilization t =
+    let wall = elapsed t in
+    Hashtbl.fold
+      (fun (src, dst) bits acc ->
+        let u =
+          if wall <= 0.0 then 0.0
+          else
+            float_of_int bits /. (float_of_int (Digraph.cap t.g src dst) *. wall)
+        in
+        ((src, dst), u) :: acc)
+      t.link_total []
+    |> List.sort compare
+
+  let events t = List.rev t.evs
+  let events_of_phase t phase = List.filter (fun e -> e.ev_phase = phase) (events t)
+  let rounds_run t = t.round_no
+end
+
+(* One random episode: ids (possibly sparse), a random edge set, per-link
+   delays in 0..2 derived from [dseed], and per-round send lists whose
+   destination index [n] maps to an absent vertex (exercising drops). *)
+let diff_case_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* spread = int_range 1 4 in
+    let* base = int_range 0 5 in
+    let ids = Array.init n (fun i -> base + 1 + (i * spread)) in
+    let pairs =
+      List.concat_map
+        (fun s ->
+          List.filter_map
+            (fun d -> if s <> d then Some (s, d) else None)
+            (Array.to_list ids))
+        (Array.to_list ids)
+    in
+    let* edges =
+      flatten_l
+        (List.map
+           (fun (s, d) ->
+             let* keep = bool in
+             if keep then map (fun c -> Some (s, d, c)) (int_range 1 4)
+             else return None)
+           pairs)
+    in
+    let edges = List.filter_map Fun.id edges in
+    let* dseed = int_range 0 97 in
+    let* sends =
+      list_size (int_range 1 6)
+        (list_size (int_range 0 12)
+           (triple (int_range 0 (n - 1)) (int_range 0 n) (int_range 1 200)))
+    in
+    return (ids, edges, dseed, sends))
+
+let run_differential ?(delayed = true) (ids, edges, dseed, sends) =
+  let g = Digraph.of_edges ~vertices:(Array.to_list ids) edges in
+  let delays (s, d) = if delayed then ((s * 5) + (d * 3) + dseed) mod 3 else 0 in
+  let bits m = 1 + (m land 7) in
+  let sim = Sim.create ~delays ~keep_events:true g ~bits in
+  let rsim = Ref_sim.create ~delays g ~bits in
+  let verts = Digraph.vertices g in
+  let id_of i = if i >= Array.length ids then 999983 else ids.(i) in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  List.iteri
+    (fun r round_sends ->
+      let phase = if r mod 2 = 0 then "even" else "odd" in
+      let outbox v =
+        List.filter_map
+          (fun (si, di, m) -> if id_of si = v then Some (id_of di, m) else None)
+          round_sends
+      in
+      let ib = Sim.round sim ~phase outbox in
+      let rb = Ref_sim.round rsim ~phase outbox in
+      List.iter (fun v -> check (ib v = rb v)) verts)
+    sends;
+  check (Sim.pending_count sim = Ref_sim.pending_count rsim);
+  let late = Sim.drain sim ~phase:"drain" in
+  let rlate = Ref_sim.drain rsim ~phase:"drain" in
+  List.iter (fun v -> check (late v = rlate v)) verts;
+  check (Sim.dropped sim = Ref_sim.dropped rsim);
+  check (Sim.rounds_run sim = Ref_sim.rounds_run rsim);
+  check (Sim.link_bits sim = Ref_sim.link_bits rsim);
+  check (Sim.utilization sim = Ref_sim.utilization rsim);
+  let t1 = Sim.timing sim and t2 = Ref_sim.timing rsim in
+  check (t1.Sim.wall = t2.Ref_sim.wall);
+  check (t1.Sim.pipelined = t2.Ref_sim.pipelined);
+  check
+    (List.map
+       (fun (p : Sim.phase_stat) ->
+         (p.Sim.phase, p.Sim.rounds, p.Sim.wall, p.Sim.bottleneck, p.Sim.bits_total, p.Sim.extra))
+       t1.Sim.phases
+    = List.map
+        (fun (p : Ref_sim.phase_stat) ->
+          ( p.Ref_sim.phase,
+            p.Ref_sim.rounds,
+            p.Ref_sim.wall,
+            p.Ref_sim.bottleneck,
+            p.Ref_sim.bits_total,
+            p.Ref_sim.extra ))
+        t2.Ref_sim.phases);
+  check
+    (List.map
+       (fun (e : _ Sim.event) ->
+         (e.Sim.round_no, e.Sim.ev_phase, e.Sim.src, e.Sim.dst, e.Sim.msg))
+       (Sim.events sim)
+    = List.map
+        (fun (e : _ Ref_sim.event) ->
+          (e.Ref_sim.round_no, e.Ref_sim.ev_phase, e.Ref_sim.src, e.Ref_sim.dst, e.Ref_sim.msg))
+        (Ref_sim.events rsim));
+  !ok
+
+let test_sim_differential_zero_delay =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"compiled core byte-identical to reference fabric (zero delays)"
+       diff_case_gen
+       (fun case -> run_differential ~delayed:false case))
+
+let test_sim_differential_delayed =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"compiled core byte-identical to reference fabric (delayed links)"
+       diff_case_gen
+       (fun case -> run_differential ~delayed:true case))
+
 let () =
   Alcotest.run "net"
     [
@@ -223,8 +587,12 @@ let () =
           Alcotest.test_case "utilization" `Quick test_sim_utilization;
           Alcotest.test_case "phases" `Quick test_sim_phases;
           Alcotest.test_case "events" `Quick test_sim_events;
+          Alcotest.test_case "events off by default" `Quick test_sim_events_off_by_default;
+          Alcotest.test_case "same-sender order" `Quick test_sim_same_sender_order;
           test_sim_duration_property;
           Alcotest.test_case "pending count and drain" `Quick test_sim_pending_and_drain;
           Alcotest.test_case "rejects zero bits" `Quick test_sim_rejects_zero_bits;
+          test_sim_differential_zero_delay;
+          test_sim_differential_delayed;
         ] );
     ]
