@@ -10,6 +10,11 @@
      dune exec bench/kernels.exe -- --check        # correctness-only smoke
                                                    # (differential vs the
                                                    # scalar path, no timing)
+     dune exec bench/kernels.exe -- --verify-artifact F.json
+                                                   # fail unless the artifact
+                                                   # carries every required
+                                                   # row (wide-m axpy/dot,
+                                                   # 256x256 generation)
 
    The scalar reference implementations below are verbatim ports of the
    pre-kernel code (per-element Gf2p.mul with its per-call cache lookup,
@@ -104,6 +109,12 @@ module Ref_gauss = struct
       end
     end
 
+  let rref f a =
+    let w = Matrix.to_arrays a in
+    let pivots = echelon f w in
+    back_substitute f w pivots;
+    (Matrix.of_arrays w, List.map snd pivots)
+
   let mul f a b =
     let ar = Matrix.rows a and ac = Matrix.cols a and bc = Matrix.cols b in
     let ad = Matrix.to_arrays a and bd = Matrix.to_arrays b in
@@ -146,7 +157,7 @@ let speedup r = if r.ns > 0.0 then r.ref_ns /. r.ns else nan
 
 (* ---------------------------- workloads ---------------------------- *)
 
-let degrees = [ 8; 16; 32 ]
+let degrees = [ 8; 16; 32; 48; 61 ]
 let axpy_len = 4096
 let inv_dim = 64
 
@@ -191,11 +202,13 @@ let bench_inverse ~min_time m =
   { name = "inverse64"; m; size = inv_dim; ns; ref_ns }
 
 (* One RLNC generation decode: invert the coefficient matrix, multiply the
-   payload block — the per-node cost of Rlnc.broadcast's decoding step. *)
-let bench_rlnc_decode ~min_time =
-  let m = 8 and gamma = 32 and payload_syms = 128 in
+   payload block — the per-node cost of Rlnc.broadcast's decoding step.
+   Benched at the historical m=8 gamma=32 point and at the ROADMAP's
+   256x256 wide-field generation (m=32, 256 payload symbols), which crosses
+   several Gauss panels and is where nibble slicing + blocking pay off. *)
+let bench_rlnc_decode ~min_time ~m ~gamma ~payload_syms =
   let fld = Gf2p.create m in
-  let st = Random.State.make [| 17 |] in
+  let st = Random.State.make [| 17; m; gamma |] in
   let cmat = random_invertible fld gamma st in
   let pmat = Matrix.random fld gamma payload_syms st in
   let decode inverse mul () =
@@ -222,7 +235,7 @@ let run_checks () =
       Printf.eprintf "FAIL %s\n" name
     end
   in
-  let degrees = [ 1; 2; 3; 5; 8; 11; 16; 20; 32; 48 ] in
+  let degrees = [ 1; 2; 3; 5; 8; 11; 16; 17; 20; 24; 32; 48; 61 ] in
   List.iter
     (fun m ->
       let fld = Gf2p.create m in
@@ -230,7 +243,9 @@ let run_checks () =
       let st = Random.State.make [| 1009; m |] in
       for trial = 1 to 20 do
         let tag = Printf.sprintf "m=%d trial=%d" m trial in
-        let len = 1 + Random.State.int st 64 in
+        (* Lengths up to 200 cross the kernels' short-row cutover in both
+           directions and exercise multi-nibble-table rows. *)
+        let len = 1 + Random.State.int st 200 in
         let x = Array.init len (fun _ -> Gf2p.random fld st) in
         let y = Array.init len (fun _ -> Gf2p.random fld st) in
         let a = Gf2p.random fld st in
@@ -262,8 +277,102 @@ let run_checks () =
           (Gauss.is_invertible fld mat = (Gauss.det fld mat <> 0))
       done)
     degrees;
+  (* Blocked-vs-scalar Gauss on shapes spanning several 32-column panels
+     (the small random matrices above never leave panel one), including
+     rank-deficient systems built from duplicated rows so pivot columns
+     skip. Both the reduced matrix and the pivot columns must match the
+     textbook reference exactly. *)
+  List.iter
+    (fun m ->
+      let fld = Gf2p.create m in
+      let st = Random.State.make [| 2027; m |] in
+      List.iter
+        (fun (nr, nc, deficient) ->
+          let tag = Printf.sprintf "gauss m=%d %dx%d%s" m nr nc
+              (if deficient then " deficient" else "")
+          in
+          let mat =
+            let a = Matrix.random fld nr nc st in
+            if not deficient then a
+            else begin
+              (* copy some rows over others: rank <= nr - copies *)
+              let w = Matrix.to_arrays a in
+              w.(nr - 1) <- Array.copy w.(0);
+              w.(nr / 2) <- Array.copy w.(1);
+              Matrix.of_arrays w
+            end
+          in
+          let got, got_piv = Gauss.rref fld mat in
+          let want, want_piv = Ref_gauss.rref fld mat in
+          check (tag ^ " rref") (Matrix.equal got want);
+          check (tag ^ " pivots") (got_piv = want_piv))
+        [ (40, 72, false); (40, 72, true); (48, 48, false); (33, 100, true) ])
+    [ 8; 32; 61 ];
   Printf.printf "kernel check: %d cases, %d failures\n" !cases !failures;
   if !failures > 0 then exit 1
+
+(* -------------------------- artifact verify -------------------------- *)
+
+(* Structural gate over a committed (or freshly generated) artifact: CI
+   fails if the row set ever regresses below the ROADMAP grid — axpy, dot
+   and inverse at every m in [degrees], plus the 256x256 wide-field
+   generation row. Presence-only (no timing thresholds), so the gate stays
+   deterministic across machines. *)
+let verify_artifact path =
+  let contents =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match Nab_obs.Json.of_string contents with
+  | Error e ->
+      Printf.eprintf "verify-artifact: %s: parse error: %s\n" path e;
+      exit 1
+  | Ok json ->
+      let open Nab_obs.Json in
+      let rows =
+        match Option.bind (member "results" json) get_list with
+        | Some l -> l
+        | None ->
+            Printf.eprintf "verify-artifact: %s: no results array\n" path;
+            exit 1
+      in
+      let row_has row key pred =
+        match Option.bind (member key row) pred with Some v -> Some v | None -> None
+      in
+      let present ~name ~m ~size =
+        List.exists
+          (fun row ->
+            row_has row "name" get_string = Some name
+            && (match m with
+               | None -> true
+               | Some m -> row_has row "m" get_int = Some m)
+            && (match size with
+               | None -> true
+               | Some s -> row_has row "size" get_int = Some s)
+            && row_has row "speedup" get_float <> None)
+          rows
+      in
+      let missing = ref [] in
+      let require ~name ~m ~size label =
+        if not (present ~name ~m ~size) then missing := label :: !missing
+      in
+      List.iter
+        (fun m ->
+          List.iter
+            (fun name ->
+              require ~name ~m:(Some m) ~size:None (Printf.sprintf "%s m=%d" name m))
+            [ "axpy"; "dot"; "inverse64" ])
+        degrees;
+      require ~name:"rlnc_decode" ~m:None ~size:(Some 256) "rlnc_decode size=256";
+      if !missing <> [] then begin
+        Printf.eprintf "verify-artifact: %s: missing rows:\n" path;
+        List.iter (Printf.eprintf "  %s\n") (List.rev !missing);
+        exit 1
+      end;
+      Printf.printf "verify-artifact: %s: all %d required rows present\n" path
+        ((3 * List.length degrees) + 1)
 
 (* ------------------------------- main ------------------------------- *)
 
@@ -277,6 +386,17 @@ let () =
     in
     find args
   in
+  let verify_path =
+    let rec find = function
+      | "--verify-artifact" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  match verify_path with
+  | Some path -> verify_artifact path
+  | None ->
   if List.mem "--check" args then run_checks ()
   else begin
     let min_time = if List.mem "--quick" args then 0.02 else 0.2 in
@@ -287,7 +407,10 @@ let () =
           List.map (bench_axpy ~min_time) degrees;
           List.map (bench_dot ~min_time) degrees;
           List.map (bench_inverse ~min_time) degrees;
-          [ bench_rlnc_decode ~min_time ];
+          [
+            bench_rlnc_decode ~min_time ~m:8 ~gamma:32 ~payload_syms:128;
+            bench_rlnc_decode ~min_time ~m:32 ~gamma:256 ~payload_syms:256;
+          ];
         ]
     in
     let stats = Kernel.stats () in

@@ -337,7 +337,24 @@ type campaign_result = {
   c_cold_s : float;
   c_warm_s : float;
   c_identical : bool;
+  c_warm_witness : bool;
+      (* warm rerun scored no misses in the capacity witness caches, and
+         scored hits whenever the cold run touched them — guards the
+         regression where a warm [Capacity.verify] short-circuited
+         without ever touching them *)
 }
+
+(* The capacity witness caches must be warm-path hits, not bystanders: a
+   warm rerun of a campaign that ran the capacity-witness oracle cold must
+   score only hits in them. A campaign that never touched them cold (the
+   scaled tier's dense graphs are out of reach of the exact witness
+   enumeration) is vacuously fine — but a warm miss is always a bug. *)
+let witness_caches = [ "capacity.gamma_witness"; "capacity.rho_witness" ]
+
+let witness_stats () =
+  List.filter_map
+    (fun (name, s) -> if List.mem name witness_caches then Some (name, s) else None)
+    (Nab_util.Plan_cache.global_stats ())
 
 (* Run [scenarios] cold (all plan caches cleared) then warm, asserting the
    rows are byte-identical — the speedup is only meaningful if temperature
@@ -350,8 +367,29 @@ let time_campaign ~name scenarios =
     (dt, rows)
   in
   cold_caches ();
+  let base = witness_stats () in
   let cold_s, cold_rows = run () in
+  let before = witness_stats () in
   let warm_s, warm_rows = run () in
+  let warm_witness =
+    List.for_all2
+      (fun ((wname, (b : Nab_util.Plan_cache.stats)), (_, (z : Nab_util.Plan_cache.stats)))
+           (_, (a : Nab_util.Plan_cache.stats)) ->
+        let touched_cold =
+          b.Nab_util.Plan_cache.hits + b.Nab_util.Plan_cache.misses
+          > z.Nab_util.Plan_cache.hits + z.Nab_util.Plan_cache.misses
+        in
+        let hits = a.Nab_util.Plan_cache.hits - b.Nab_util.Plan_cache.hits in
+        let misses = a.Nab_util.Plan_cache.misses - b.Nab_util.Plan_cache.misses in
+        if misses = 0 && (hits > 0 || not touched_cold) then true
+        else begin
+          Printf.eprintf "%s campaign: warm run scored %d hits / %d misses in %s\n"
+            name hits misses wname;
+          false
+        end)
+      (List.combine before base)
+      (witness_stats ())
+  in
   let render r = Nab_obs.Json.to_string (Nab_exp.Runner.row_to_json r) in
   let identical =
     List.length cold_rows = List.length warm_rows
@@ -371,6 +409,7 @@ let time_campaign ~name scenarios =
     c_cold_s = cold_s;
     c_warm_s = warm_s;
     c_identical = identical;
+    c_warm_witness = warm_witness;
   }
 
 (* The quick campaign runs on paper-scale graphs (n <= 8) where planning is
@@ -381,6 +420,9 @@ let time_campaign ~name scenarios =
    content-keyed cache exists for. *)
 let scaled_scenarios ~quick =
   let mk n q =
+    (* No capacity-witness here: psi_graphs enumerates dispute sets
+       exactly and refuses complete graphs this dense, so the witness
+       caches are legitimately untouched in this tier. *)
     Nab_exp.Scenario.make ~f:2 ~q ~l_bits:512
       (Nab_exp.Scenario.Complete { n; cap = 2 })
       ()
@@ -494,6 +536,12 @@ let run_checks () =
     incr failures;
     Printf.eprintf "FAIL cold vs warm campaign rows differ\n"
   end;
+  (* warm reruns must hit the capacity witness caches *)
+  incr cases;
+  if not c.c_warm_witness then begin
+    incr failures;
+    Printf.eprintf "FAIL warm campaign missed the capacity witness caches\n"
+  end;
   Printf.printf "sim check: %d cases, %d failures\n" !cases !failures;
   if !failures > 0 then exit 1
 
@@ -539,9 +587,11 @@ let () =
           "%s campaign (%d scenarios, jobs=1): cold %.2fs, warm %.2fs, %.2fx%s\n"
           c.c_name c.c_scenarios c.c_cold_s c.c_warm_s
           (if c.c_warm_s > 0.0 then c.c_cold_s /. c.c_warm_s else nan)
-          (if c.c_identical then "" else " [ROWS DIFFER!]"))
+          ((if c.c_identical then "" else " [ROWS DIFFER!]")
+          ^ if c.c_warm_witness then "" else " [WITNESS CACHES COLD!]"))
       campaigns;
-    if not (List.for_all (fun c -> c.c_identical) campaigns) then exit 1;
+    if not (List.for_all (fun c -> c.c_identical && c.c_warm_witness) campaigns) then
+      exit 1;
     let json =
       Nab_obs.Json.(
         Obj
@@ -581,6 +631,7 @@ let () =
                          ("warm_s", float c.c_warm_s);
                          ("speedup", float (c.c_cold_s /. c.c_warm_s));
                          ("rows_identical", Bool c.c_identical);
+                         ("warm_witness_hits", Bool c.c_warm_witness);
                        ])
                    campaigns) );
             ( "plan_caches",

@@ -85,10 +85,8 @@ let rho_witness g ~f =
     ~key:(Printf.sprintf "%s|f%d" (Digraph.fingerprint g) f)
     (fun () -> compute_rho_witness g ~f)
 
-let compute_verify g ~source ~f =
+let compute_verify g ~source ~f gw rw =
   let s = Params.stars g ~source ~f in
-  let gw = gamma_witness g ~source ~f in
-  let rw = rho_witness g ~f in
   if gw.cut_value <> s.Params.gamma_star then
     Error
       (Printf.sprintf "gamma witness cut %d does not match gamma* = %d" gw.cut_value
@@ -110,8 +108,17 @@ let compute_verify g ~source ~f =
   end
 
 let verify g ~source ~f =
+  (* Fetch the witnesses through their own caches *before* consulting the
+     verify memo: a warm [verify] used to short-circuit inside its own
+     cache and never touch the witness caches at all, so campaign reruns
+     showed 0 warm witness hits while every later witness consumer
+     (reports, follow-up oracles) silently recomputed the sweeps. All three
+     caches share the same fingerprint-based keying, so a warm run now
+     scores a hit in each. *)
+  let gw = gamma_witness g ~source ~f in
+  let rw = rho_witness g ~f in
   Nab_util.Plan_cache.find_or_compute verify_cache ~key:(key g ~source ~f)
-    (fun () -> compute_verify g ~source ~f)
+    (fun () -> compute_verify g ~source ~f gw rw)
 
 let pp_report fmt g ~source ~f =
   let s = Params.stars g ~source ~f in

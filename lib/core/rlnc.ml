@@ -152,8 +152,17 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
     else if rank v < gamma then None
     else begin
       let rows = Array.of_list (Hashtbl.find buffers v).rows in
-      let cmat = Matrix.init gamma gamma (fun i j -> rows.(i).data.(j)) in
-      let pmat = Matrix.init gamma payload_syms (fun i j -> rows.(i).data.(gamma + j)) in
+      (* Buffered rows already hold the wire layout [coeffs | payload], so
+         the two solver operands are straight blits into flat row-major
+         buffers — no per-element closure over gamma * payload_syms cells. *)
+      let craw = Array.make (gamma * gamma) 0 in
+      let praw = Array.make (gamma * payload_syms) 0 in
+      for i = 0 to gamma - 1 do
+        Array.blit rows.(i).data 0 craw (i * gamma) gamma;
+        Array.blit rows.(i).data gamma praw (i * payload_syms) payload_syms
+      done;
+      let cmat = Matrix.of_raw ~rows:gamma ~cols:gamma craw in
+      let pmat = Matrix.of_raw ~rows:gamma ~cols:payload_syms praw in
       match Gauss.inverse fld cmat with
       | None -> None
       | Some ci ->

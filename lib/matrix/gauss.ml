@@ -6,7 +6,17 @@ open Nab_field
    [axpy] per target row. Pivot selection (first nonzero entry at or below
    the working row) is identical to the textbook version this replaced, so
    every result — including the arbitrary solution [solve] picks for
-   underdetermined systems — is bit-for-bit unchanged. *)
+   underdetermined systems — is bit-for-bit unchanged.
+
+   [echelon] is cache-blocked: pivots are factored a [panel_cols]-wide
+   column panel at a time (updates inside the panel applied immediately, so
+   pivot selection always reads current values), and the trailing columns
+   receive all of a panel's updates afterwards, swept in [strip_cols]-wide
+   strips so each strip of the eliminated rows stays resident in L1 across
+   the panel's pivots. Every field operation applies the same scalar to the
+   same element as the unblocked order — only the traversal across disjoint
+   column segments is reordered — so the reduced workspace, the pivot list,
+   and every caller downstream remain bit-identical. *)
 
 let workspace a = Array.copy (Matrix.raw a)
 
@@ -33,32 +43,93 @@ let find_pivot w nc nr r c =
    with Exit -> ());
   !pr
 
+(* Panel width: 32 pivot columns of pending updates fit the factor state in
+   a few KB; strip width: 64 symbols * 8 bytes = 512 B per row, so a strip
+   of a few dozen active rows stays L1-resident across the panel sweep. *)
+let panel_cols = 32
+let strip_cols = 64
+
 (* Forward elimination into row-echelon form (pivot rows normalised to 1).
-   Returns the pivot list as (row, col) pairs in elimination order. *)
+   Returns the pivot list as (row, col) pairs in elimination order.
+   Cache-blocked as described in the header; bit-identical to the
+   one-column-at-a-time order. *)
 let echelon k (w : int array) ~nr ~nc =
   let pivots = ref [] in
   let r = ref 0 in
   let c = ref 0 in
+  (* Per-panel pending state: pivot rows, their normalisation scalars, and
+     the elimination factor of every row below each pivot — everything the
+     delayed trailing update needs to replay the panel's operations on the
+     columns right of the panel. *)
+  let piv_row = Array.make panel_cols 0 in
+  let piv_scale = Array.make panel_cols 1 in
+  let factors = Array.make (panel_cols * nr) 0 in
   while !r < nr && !c < nc do
-    let pr = find_pivot w nc nr !r !c in
-    if pr < 0 then incr c
-    else begin
-      swap_rows w nc pr !r;
-      let ro = !r * nc in
-      let tail = nc - !c in
-      let pivot = w.(ro + !c) in
-      if pivot <> 1 then
-        Kernel.scal k ~a:(Kernel.inv k pivot) ~x:w ~off:(ro + !c) ~len:tail;
-      for i = !r + 1 to nr - 1 do
-        let io = i * nc in
-        let factor = w.(io + !c) in
-        if factor <> 0 then
-          Kernel.axpy k ~a:factor ~x:w ~xoff:(ro + !c) ~y:w ~yoff:(io + !c) ~len:tail
+    let panel_end = min nc (!c + panel_cols) in
+    let np = ref 0 in
+    (* Panel factorisation: full elimination restricted to the panel's
+       columns, so pivot search always reads up-to-date values (earlier
+       panels already pushed their updates over these columns). *)
+    while !r < nr && !c < panel_end do
+      let pr = find_pivot w nc nr !r !c in
+      if pr < 0 then incr c
+      else begin
+        if pr <> !r then begin
+          swap_rows w nc pr !r;
+          (* Pending factors are indexed by row: follow the swap so each
+             queued trailing update stays attached to its row's content.
+             Pivot rows themselves never move again — swaps only involve
+             rows at or below the working row. *)
+          for j = 0 to !np - 1 do
+            let fo = j * nr in
+            let t = factors.(fo + pr) in
+            factors.(fo + pr) <- factors.(fo + !r);
+            factors.(fo + !r) <- t
+          done
+        end;
+        let ro = !r * nc in
+        let plen = panel_end - !c in
+        let pivot = w.(ro + !c) in
+        let scale = if pivot = 1 then 1 else Kernel.inv k pivot in
+        if scale <> 1 then Kernel.scal k ~a:scale ~x:w ~off:(ro + !c) ~len:plen;
+        let fo = !np * nr in
+        for i = !r + 1 to nr - 1 do
+          let io = i * nc in
+          let factor = w.(io + !c) in
+          factors.(fo + i) <- factor;
+          if factor <> 0 then
+            Kernel.axpy k ~a:factor ~x:w ~xoff:(ro + !c) ~y:w ~yoff:(io + !c)
+              ~len:plen
+        done;
+        piv_row.(!np) <- !r;
+        piv_scale.(!np) <- scale;
+        incr np;
+        pivots := (!r, !c) :: !pivots;
+        incr r;
+        incr c
+      end
+    done;
+    (* Delayed trailing update, strip by strip. Within a strip the panel's
+       pivots replay in elimination order — normalise the pivot row's
+       segment, then eliminate below — which is exactly the per-element
+       operation sequence of the unblocked loop. *)
+    let s = ref panel_end in
+    while !np > 0 && !s < nc do
+      let slen = min strip_cols (nc - !s) in
+      for j = 0 to !np - 1 do
+        let ro = piv_row.(j) * nc in
+        if piv_scale.(j) <> 1 then
+          Kernel.scal k ~a:piv_scale.(j) ~x:w ~off:(ro + !s) ~len:slen;
+        let fo = j * nr in
+        for i = piv_row.(j) + 1 to nr - 1 do
+          let factor = factors.(fo + i) in
+          if factor <> 0 then
+            Kernel.axpy k ~a:factor ~x:w ~xoff:(ro + !s) ~y:w ~yoff:((i * nc) + !s)
+              ~len:slen
+        done
       done;
-      pivots := (!r, !c) :: !pivots;
-      incr r;
-      incr c
-    end
+      s := !s + slen
+    done
   done;
   List.rev !pivots
 

@@ -48,7 +48,11 @@ let is_zero a = Array.for_all (fun x -> x = 0) a.data
 
 let add f a b =
   if a.nr <> b.nr || a.nc <> b.nc then invalid_arg "Matrix.add: shape mismatch";
-  { a with data = Array.mapi (fun k x -> Gf2p.add f x b.data.(k)) a.data }
+  (* char 2: matrix addition is one fused XOR pass (the kernel's a = 1
+     axpy), not a per-element closure through the field descriptor. *)
+  let data = Array.copy a.data in
+  Kernel.axpy_row (Kernel.of_field f) ~a:1 ~x:b.data ~y:data;
+  { a with data }
 
 let mul f a b =
   if a.nc <> b.nr then invalid_arg "Matrix.mul: shape mismatch";

@@ -13,8 +13,9 @@ open Nab_core
 let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
 
-(* Tabled, byte-tabled and raw degrees all represented. *)
-let degrees = [ 1; 2; 3; 5; 8; 11; 16; 20; 32; 48 ]
+(* Tabled, byte-tabled and raw degrees all represented, up to the
+   max_degree = 61 boundary where 1 lsl m nears native-int width. *)
+let degrees = [ 1; 2; 3; 5; 8; 11; 16; 20; 24; 32; 48; 61 ]
 let degree_gen = QCheck2.Gen.oneofl degrees
 
 let elt_gen fld st = Gf2p.random fld st
@@ -263,6 +264,106 @@ let test_stats () =
   Alcotest.(check bool) "flops counted" true (d.Kernel.flops >= 32);
   Alcotest.(check bool) "symbols counted" true (d.Kernel.symbols >= 3 * 32)
 
+(* Exact counter semantics: degenerate scalars issue no multiplies, so they
+   must count zero flops (the a = 1 axpy is a XOR pass, the a = 0 scal is a
+   fill, the a = 0 axpy is a no-op) while symbol traffic still counts. *)
+let test_stats_exact () =
+  let k = Kernel.of_field (Gf2p.create 8) in
+  let x = Array.make 32 3 and y = Array.make 32 5 in
+  let delta f =
+    let before = Kernel.stats () in
+    f ();
+    Kernel.diff_stats before (Kernel.stats ())
+  in
+  let case name f flops symbols =
+    let d = delta f in
+    Alcotest.(check int) (name ^ " flops") flops d.Kernel.flops;
+    Alcotest.(check int) (name ^ " symbols") symbols d.Kernel.symbols
+  in
+  case "axpy a=1" (fun () -> Kernel.axpy_row k ~a:1 ~x ~y) 0 (3 * 32);
+  case "axpy a=0" (fun () -> Kernel.axpy_row k ~a:0 ~x ~y) 0 0;
+  case "axpy a=7" (fun () -> Kernel.axpy_row k ~a:7 ~x ~y) 32 (3 * 32);
+  case "scal a=0" (fun () -> Kernel.scal_row k ~a:0 ~x:(Array.copy x)) 0 32;
+  case "scal a=1" (fun () -> Kernel.scal_row k ~a:1 ~x:(Array.copy x)) 0 0;
+  case "scal a=5" (fun () -> Kernel.scal_row k ~a:5 ~x:(Array.copy x)) 32 (2 * 32);
+  case "dot" (fun () -> ignore (Kernel.dot k ~x ~xoff:0 ~y ~yoff:0 ~len:32)) 32 (2 * 32)
+
+(* The of_field memo is keyed by (degree, poly): repeatedly minted
+   create_with_poly descriptors must all resolve to one kernel, and when
+   the polynomial is the canonical one, Kernel.field must return the
+   canonical Gf2p.create descriptor — not whichever minted copy arrived
+   first. *)
+let test_of_field_aliasing () =
+  let m = 20 in
+  let canonical = Gf2p.create m in
+  let poly = Gf2p.reduction_poly canonical in
+  let k0 = Kernel.of_field canonical in
+  let k1 = Kernel.of_field (Gf2p.create_with_poly ~m ~poly) in
+  let k2 = Kernel.of_field (Gf2p.create_with_poly ~m ~poly) in
+  Alcotest.(check bool) "one kernel per (m, poly)" true (k0 == k1 && k1 == k2);
+  Alcotest.(check bool)
+    "field is the canonical descriptor" true
+    (Kernel.field k1 == canonical);
+  let wide = Gf2p.create 61 in
+  let kw = Kernel.of_field (Gf2p.create_with_poly ~m:61 ~poly:(Gf2p.reduction_poly wide)) in
+  Alcotest.(check bool) "wide field aliases too" true (Kernel.field kw == wide)
+
+(* ---------- wide-m nibble path ---------- *)
+
+(* Dedicated differential over the nibble-sliced raw path: every wide
+   degree (including the max_degree = 61 boundary) on rows long enough to
+   use the multi-table path and short enough to hit the shift-table
+   cutover. *)
+let test_wide_m =
+  qtest ~count:200 "wide-m axpy/scal/dot/inv = Gf2p (24/32/48/61)"
+    QCheck2.Gen.(
+      oneofl [ 24; 32; 48; 61 ] >>= fun m ->
+      int_range 0 40 >>= fun len ->
+      make_primitive
+        ~gen:(fun st ->
+          let fld = Gf2p.create m in
+          ( m,
+            Array.init len (fun _ -> elt_gen fld st),
+            Array.init len (fun _ -> elt_gen fld st),
+            elt_gen fld st ))
+        ~shrink:(fun _ -> Seq.empty))
+    (fun (m, x, y, a) ->
+      let fld = Gf2p.create m in
+      let k = Kernel.of_field fld in
+      let yk = Array.copy y and yr = Array.copy y in
+      Kernel.axpy_row k ~a ~x ~y:yk;
+      ref_axpy fld ~a ~x ~y:yr;
+      yk = yr
+      && (let xk = Array.copy x in
+          Kernel.scal_row k ~a ~x:xk;
+          xk = Array.map (fun v -> Gf2p.mul fld a v) x)
+      && Kernel.dot k ~x ~xoff:0 ~y ~yoff:0 ~len:(Array.length x) = ref_dot fld ~x ~y
+      && (a = 0 || Kernel.inv k a = Gf2p.inv fld a)
+      && Array.for_all (fun v -> v = 0 || Kernel.mul k (Kernel.inv k v) v = 1) x)
+
+(* Deterministic top-of-range products at m = 61: the Horner accumulator
+   masks to m - 4 bits before shifting, so all-ones and high-bit operands
+   must survive without native-int overflow. *)
+let test_degree61_boundary () =
+  let fld = Gf2p.create 61 in
+  let k = Kernel.of_field fld in
+  let msk = (1 lsl 61) - 1 in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "mul %x %x" a b)
+        (Gf2p.mul fld a b) (Kernel.mul k a b))
+    [
+      (msk, msk);
+      (msk, 1);
+      (1, msk);
+      (1 lsl 60, 1 lsl 60);
+      (msk, 2);
+      ((1 lsl 60) lor 1, msk);
+      (msk lxor (1 lsl 30), (1 lsl 60) lor 0xff);
+    ];
+  Alcotest.(check int) "inv roundtrip at mask" 1 (Kernel.mul k msk (Kernel.inv k msk))
+
 (* ---------- Gauss differential ---------- *)
 
 let square_gen =
@@ -326,6 +427,31 @@ let test_is_invertible =
     (fun (m, a) ->
       let fld = Gf2p.create m in
       Gauss.is_invertible fld a = (Gauss.det fld a <> 0))
+
+(* Blocked-vs-unblocked identity at campaign scale: a 256x256 system spans
+   eight 32-column panels and four 64-column trailing strips, so this
+   exercises every blocking boundary. Pivot order and the reduced matrix
+   must match the textbook reference exactly, on a full-rank system and on
+   a rank-deficient one (duplicated rows force pivot-column skips across
+   panel boundaries). *)
+let test_gauss_blocked_256 () =
+  let fld = Gf2p.create 8 in
+  let st = Random.State.make [| 0xb10c; 256 |] in
+  let full = Matrix.random fld 256 256 st in
+  let deficient =
+    let w = Matrix.to_arrays (Matrix.random fld 256 256 st) in
+    w.(255) <- Array.copy w.(0);
+    w.(128) <- Array.copy w.(7);
+    w.(64) <- Array.copy w.(33);
+    Matrix.of_arrays w
+  in
+  List.iter
+    (fun (name, a) ->
+      let r1, p1 = Gauss.rref fld a in
+      let r2, p2 = Ref_gauss.rref fld a in
+      Alcotest.(check bool) (name ^ " rref identical") true (Matrix.equal r1 r2);
+      Alcotest.(check (list int)) (name ^ " pivot columns") p2 p1)
+    [ ("full-rank 256x256", full); ("rank-deficient 256x256", deficient) ]
 
 (* ---------- Rs / Poly through the kernel ---------- *)
 
@@ -471,8 +597,12 @@ let () =
           test_scal;
           test_dot;
           test_mul_row_matrix;
+          test_wide_m;
           Alcotest.test_case "range checks" `Quick test_range_checks;
           Alcotest.test_case "stats counters" `Quick test_stats;
+          Alcotest.test_case "stats exact semantics" `Quick test_stats_exact;
+          Alcotest.test_case "degree-61 boundary" `Quick test_degree61_boundary;
+          Alcotest.test_case "of_field aliasing" `Quick test_of_field_aliasing;
         ] );
       ( "gauss",
         [
@@ -480,6 +610,7 @@ let () =
           test_gauss_rank_rref;
           test_gauss_solve;
           test_is_invertible;
+          Alcotest.test_case "blocked 256x256 identity" `Quick test_gauss_blocked_256;
         ] );
       ("consumers", [ test_rs_roundtrip; test_poly_eval; test_matrix_mul ]);
       ( "rlnc",
