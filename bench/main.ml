@@ -162,7 +162,7 @@ let e3 () =
   hr 66;
   List.iter
     (fun q ->
-      let r = Pipelined.run ~g ~config ~inputs:(inputs_for ~l ~seed:3) ~q in
+      let r = Pipelined.run ~g ~config ~inputs:(inputs_for ~l ~seed:3) ~q () in
       Printf.printf "%-5d %-12.0f %-14.0f %-12.0f %-10.3f %b\n" q r.Pipelined.completion
         r.Pipelined.per_instance r.Pipelined.round_core r.Pipelined.throughput
         r.Pipelined.all_delivered)
@@ -369,7 +369,7 @@ let e8 () =
         Bitvec.to_symbols (Bitvec.pad_to (inputs_for ~l ~seed:9 1) l) ~sym_bits:8
       in
       let _ =
-        Nab_classic.Oblivious.broadcast ~sim ~routing ~f:1 ~source:1 ~value_bits:l ~data
+        Nab_classic.Oblivious.broadcast ~net:(Nab_net.Sim.transport sim) ~routing ~f:1 ~source:1 ~value_bits:l ~data
           ~faulty:Vset.empty ()
       in
       let obl = float_of_int l /. (Nab_net.Sim.timing sim).Nab_net.Sim.pipelined in
@@ -407,7 +407,7 @@ let e9 () =
       let sim_tree = Nab_net.Sim.create g ~bits:Nab_net.Packet.bits in
       let trees = Arborescence.pack g ~root:1 ~k:gamma in
       let received =
-        Phase1.run ~sim:sim_tree ~phase:"p1" ~trees ~source:1 ~value
+        Phase1.run ~net:(Nab_net.Sim.transport sim_tree) ~phase:"p1" ~trees ~source:1 ~value
           ~faulty:Vset.empty ()
       in
       let sizes = Phase1.slice_sizes ~value_bits:l ~trees:gamma in
@@ -419,7 +419,7 @@ let e9 () =
       in
       (* RLNC *)
       let sim_rlnc = Nab_net.Sim.create g ~bits:Nab_net.Packet.bits in
-      let r = Rlnc.broadcast ~sim:sim_rlnc ~phase:"rlnc" ~source:1 ~value ~gamma ~m ~seed:3 () in
+      let r = Rlnc.broadcast ~net:(Nab_net.Sim.transport sim_rlnc) ~phase:"rlnc" ~source:1 ~value ~gamma ~m ~seed:3 () in
       let rlnc_ok =
         r.Rlnc.all_decoded
         && List.for_all

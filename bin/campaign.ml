@@ -39,6 +39,80 @@ let scenarios_arg =
     & info [ "scenarios" ] ~docv:"FILE"
         ~doc:"Run the scenarios of a JSON file (one Scenario.to_json object per line).")
 
+(* ---- network backend (shared by run/list) ----
+
+   The flags mirror nab_cli's: selecting --backend async maps every chosen
+   scenario through Scenario.with_backend, so async runs get content-derived
+   ids ("+async-<spec>") exactly like sync ones. *)
+
+let net_backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sync", `Sync); ("async", `Async) ]) `Sync
+    & info [ "backend" ] ~docv:"NET"
+        ~doc:
+          "Network backend for every scenario: sync (default) or async \
+           (event-driven, with injectable faults).")
+
+let latency_arg =
+  Arg.(
+    value & opt string "zero"
+    & info [ "latency" ] ~docv:"SPEC"
+        ~doc:"Async per-message latency: zero, const:T, uniform:LO:HI or exp:MEAN.")
+
+let jitter_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~docv:"J" ~doc:"Async extra uniform [0,J) delay per message.")
+
+let reorder_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "reorder" ] ~docv:"P[:D]"
+        ~doc:
+          "Async reordering: bump each message with probability P by D time \
+           units (D omitted = one round's transmission time).")
+
+let crash_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "crash" ] ~docv:"N@T,.."
+        ~doc:"Async crash faults: node N sends/receives nothing from time T.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the async fault randomness (replay key).")
+
+let backend_of_flags backend latency jitter reorder crash fault_seed =
+  match backend with
+  | `Sync ->
+      if latency <> "zero" || jitter <> 0.0 || reorder <> "" || crash <> ""
+         || fault_seed <> 0
+      then
+        failwith
+          "fault flags (--latency/--jitter/--reorder/--crash/--fault-seed) \
+           require --backend async"
+      else Scenario.Sync
+  | `Async -> (
+      match
+        Nab_net.Async_sim.spec_of_flags ~latency ~jitter ~reorder ~crash
+          ~seed:fault_seed
+      with
+      | Ok spec -> Scenario.Async spec
+      | Error e -> failwith e)
+
+let backend_term =
+  Term.(
+    const backend_of_flags $ net_backend_arg $ latency_arg $ jitter_arg
+    $ reorder_arg $ crash_arg $ fault_seed_arg)
+
+let apply_backend backend scenarios =
+  match backend with
+  | Scenario.Sync -> scenarios
+  | b -> List.map (Scenario.with_backend b) scenarios
+
 let select quick soak seed scenarios_file =
   match scenarios_file with
   | Some path ->
@@ -102,8 +176,8 @@ let run_cmd =
       & info [ "shrink-dir" ] ~docv:"DIR"
           ~doc:"Shrink each violation to a minimal reproducer under $(docv)/ID/.")
   in
-  let run quick soak seed scenarios_file out baseline shrink_dir =
-    let scenarios = select quick soak seed scenarios_file in
+  let run quick soak seed scenarios_file backend out baseline shrink_dir =
+    let scenarios = apply_backend backend (select quick soak seed scenarios_file) in
     Printf.eprintf "campaign: %d scenarios (%d jobs)\n%!" (List.length scenarios)
       (Nab_util.Pool.jobs ());
     let rows =
@@ -171,8 +245,8 @@ let run_cmd =
   let term =
     with_jobs
       Term.(
-        const run $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ out_arg
-        $ baseline_arg $ shrink_arg)
+        const run $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ backend_term
+        $ out_arg $ baseline_arg $ shrink_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a campaign, stream JSONL results, gate on oracle violations.")
@@ -181,14 +255,14 @@ let run_cmd =
 (* ---- list ---- *)
 
 let list_cmd =
-  let list quick soak seed scenarios_file =
+  let list quick soak seed scenarios_file backend =
     List.iter
       (fun (s : Scenario.t) -> print_endline s.Scenario.id)
-      (select quick soak seed scenarios_file);
+      (apply_backend backend (select quick soak seed scenarios_file));
     0
   in
   let term =
-    Term.(const list $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg)
+    Term.(const list $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ backend_term)
   in
   Cmd.v (Cmd.info "list" ~doc:"Print the scenario ids of a campaign.") term
 

@@ -109,6 +109,68 @@ let with_obs ~trace ~metrics ~sample f =
           List.iter (fun (_, oc) -> close_out oc) pairs)
         (fun () -> f ctx)
 
+(* ---- network backend arguments ---- *)
+
+let net_backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sync", `Sync); ("async", `Async) ]) `Sync
+    & info [ "backend" ] ~docv:"NET"
+        ~doc:
+          "Network backend: sync (the round-synchronous simulator, default) \
+           or async (event-driven, with injectable faults).")
+
+let latency_arg =
+  Arg.(
+    value & opt string "zero"
+    & info [ "latency" ] ~docv:"SPEC"
+        ~doc:
+          "Async per-message latency: zero, const:T, uniform:LO:HI or \
+           exp:MEAN (time units). Requires --backend async.")
+
+let jitter_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~docv:"J"
+        ~doc:"Async extra uniform [0,J) delay per message.")
+
+let reorder_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "reorder" ] ~docv:"P[:D]"
+        ~doc:
+          "Async reordering: bump each message with probability P by D time \
+           units (D omitted = one round's transmission time).")
+
+let crash_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "crash" ] ~docv:"N@T,.."
+        ~doc:"Async crash faults: node N sends/receives nothing from time T.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the async fault randomness (replay key).")
+
+(* One Transport.factory out of the six flags; rejects fault flags that
+   would be silently ignored on the sync backend. *)
+let transport_of_flags backend latency jitter reorder crash fault_seed =
+  match backend with
+  | `Sync ->
+      if latency <> "zero" || jitter <> 0.0 || reorder <> "" || crash <> ""
+         || fault_seed <> 0
+      then invalid_arg "fault flags (--latency/--jitter/--reorder/--crash/--fault-seed) require --backend async"
+      else Nab_net.Sim.factory ()
+  | `Async -> (
+      match
+        Nab_net.Async_sim.spec_of_flags ~latency ~jitter ~reorder ~crash
+          ~seed:fault_seed
+      with
+      | Ok spec -> Nab_net.Async_sim.factory ~spec ()
+      | Error e -> invalid_arg e)
+
 (* ---- run ---- *)
 
 let lookup_adversary name =
@@ -147,9 +209,12 @@ let run_cmd =
           ~doc:"Equality-check field degree (GF(2^M) symbol width), 1-61.")
   in
   let run family n cap f seed adversary q l m verbose backend trace metrics sample json
-      =
+      net_backend latency jitter reorder crash fault_seed =
     setup_logs ();
     let g = make_graph family n cap seed in
+    let transport =
+      transport_of_flags net_backend latency jitter reorder crash fault_seed
+    in
     let adv = lookup_adversary adversary in
     let config = Nab.config ~f ~l_bits:l ~m ~seed ~flag_backend:backend () in
     let rng = Random.State.make [| seed; 0x1ca11 |] in
@@ -164,7 +229,7 @@ let run_cmd =
     in
     let report =
       with_obs ~trace ~metrics ~sample (fun obs ->
-          Nab.run ~obs ~g ~config ~adversary:adv ~inputs ~q ())
+          Nab.run ~obs ~transport ~g ~config ~adversary:adv ~inputs ~q ())
     in
     if json then
       print_endline (Nab_obs.Json.to_string (Report.run_to_json report))
@@ -202,7 +267,8 @@ let run_cmd =
       Term.(
         const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg
         $ q_arg $ l_arg $ m_arg $ verbose_arg $ backend_arg $ trace_arg $ metrics_arg
-        $ sample_arg $ json_arg)
+        $ sample_arg $ json_arg $ net_backend_arg $ latency_arg $ jitter_arg
+        $ reorder_arg $ crash_arg $ fault_seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run Q instances of NAB under an adversary.") term
 
@@ -260,7 +326,7 @@ let pipelined_cmd =
           Hashtbl.add tbl k v;
           v
     in
-    let r = Pipelined.run ~g ~config ~inputs ~q in
+    let r = Pipelined.run ~g ~config ~inputs ~q () in
     Printf.printf
       "pipelined %d instances: gamma=%d rho=%d hops=%d\n\
        completion %.1f (model %.1f), per-instance %.1f (round core %.1f)\n\

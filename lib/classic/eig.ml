@@ -13,9 +13,9 @@ type node_state = (int list, Wire.payload) Hashtbl.t
 let lookup (st : node_state) ~default label =
   match Hashtbl.find_opt st label with Some v -> v | None -> default
 
-let broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
+let broadcast_all ~net ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
     ?(adversary = honest) ?(reliable_hooks = Reliable.honest_hooks) () =
-  let g = Sim.graph sim in
+  let g = Transport.graph net in
   let verts =
     match nodes with None -> Digraph.vertices g | Some vs -> List.sort_uniq compare vs
   in
@@ -89,7 +89,7 @@ let broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
           verts
       in
       let delivery =
-        Reliable.exchange ~sim ~phase ~routing ~proto:(phase ^ ":eig") ~faulty
+        Reliable.exchange ~net ~phase ~routing ~proto:(phase ^ ":eig") ~faulty
           ~hooks:reliable_hooks ~default:Wire.Nothing ~sends
       in
       (* Store received values: j receiving (sigma, v) from i keeps it as
@@ -168,15 +168,15 @@ let broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
     verts;
   decisions
 
-let broadcast ~sim ?nodes ~phase ~routing ~f ~source ~value ~default ~faulty
+let broadcast ~net ?nodes ~phase ~routing ~f ~source ~value ~default ~faulty
     ?adversary ?reliable_hooks () =
   let decisions =
-    broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs:[ (source, value) ] ~default
+    broadcast_all ~net ?nodes ~phase ~routing ~f ~inputs:[ (source, value) ] ~default
       ~faulty ?adversary ?reliable_hooks ()
   in
   let verts =
     match nodes with
-    | None -> Nab_graph.Digraph.vertices (Sim.graph sim)
+    | None -> Nab_graph.Digraph.vertices (Transport.graph net)
     | Some vs -> List.sort_uniq compare vs
   in
   List.map (fun v -> (v, Hashtbl.find decisions (source, v))) verts

@@ -22,7 +22,7 @@ type adversary =
 val honest : adversary
 
 val broadcast_all :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   ?nodes:int list ->
   phase:string ->
   routing:Routing.t ->
@@ -44,7 +44,7 @@ val broadcast_all :
     when the source is honest. *)
 
 val broadcast :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   ?nodes:int list ->
   phase:string ->
   routing:Routing.t ->

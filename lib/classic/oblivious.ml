@@ -1,7 +1,7 @@
 open Nab_net
 
-let broadcast ~sim ~routing ~f ~source ~value_bits ~data ~faulty ?adversary () =
+let broadcast ~net ~routing ~f ~source ~value_bits ~data ~faulty ?adversary () =
   let value = Wire.Value { bits = value_bits; data } in
   let default = Wire.Value { bits = value_bits; data = Array.map (fun _ -> 0) data } in
-  Eig.broadcast ~sim ~phase:"oblivious" ~routing ~f ~source ~value ~default ~faulty
+  Eig.broadcast ~net ~phase:"oblivious" ~routing ~f ~source ~value ~default ~faulty
     ?adversary ()

@@ -9,7 +9,7 @@ open Nab_graph
 open Nab_net
 
 val broadcast :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   routing:Routing.t ->
   f:int ->
   source:int ->

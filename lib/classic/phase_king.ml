@@ -39,9 +39,9 @@ let most_frequent ~default values =
         (fun (bv, bk) (v, k) -> if k > bk || (k = bk && compare v bv < 0) then (v, k) else (bv, bk))
         (List.hd counts) (List.tl counts)
 
-let broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
+let broadcast_all ~net ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
     ?(adversary = honest) ?(reliable_hooks = Reliable.honest_hooks) () =
-  let g = Sim.graph sim in
+  let g = Transport.graph net in
   let verts =
     match nodes with None -> Digraph.vertices g | Some vs -> List.sort_uniq compare vs
   in
@@ -72,7 +72,7 @@ let broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
             verts)
         senders
     in
-    Reliable.exchange ~sim ~phase ~routing ~proto:(phase ^ ":pk") ~faulty
+    Reliable.exchange ~net ~phase ~routing ~proto:(phase ^ ":pk") ~faulty
       ~hooks:reliable_hooks ~default:Wire.Nothing ~sends
   in
   (* Round 0: every source disseminates its input. *)
@@ -147,15 +147,15 @@ let broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs ~default ~faulty
     verts;
   decisions
 
-let broadcast ~sim ?nodes ~phase ~routing ~f ~source ~value ~default ~faulty
+let broadcast ~net ?nodes ~phase ~routing ~f ~source ~value ~default ~faulty
     ?adversary ?reliable_hooks () =
   let decisions =
-    broadcast_all ~sim ?nodes ~phase ~routing ~f ~inputs:[ (source, value) ] ~default
+    broadcast_all ~net ?nodes ~phase ~routing ~f ~inputs:[ (source, value) ] ~default
       ~faulty ?adversary ?reliable_hooks ()
   in
   let verts =
     match nodes with
-    | None -> Digraph.vertices (Sim.graph sim)
+    | None -> Digraph.vertices (Transport.graph net)
     | Some vs -> List.sort_uniq compare vs
   in
   List.map (fun v -> (v, Hashtbl.find decisions (source, v))) verts

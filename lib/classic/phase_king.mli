@@ -18,7 +18,7 @@ type adversary =
 val honest : adversary
 
 val broadcast_all :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   ?nodes:int list ->
   phase:string ->
   routing:Routing.t ->
@@ -35,7 +35,7 @@ val broadcast_all :
     agreement always, and validity when the source is honest. *)
 
 val broadcast :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   ?nodes:int list ->
   phase:string ->
   routing:Routing.t ->

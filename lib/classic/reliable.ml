@@ -35,8 +35,8 @@ let successor route me =
 
 let last route = List.nth route (List.length route - 1)
 
-let exchange ~sim ~phase ~routing ~proto ~faulty ~hooks ~default ~sends =
-  let g = Sim.graph sim in
+let exchange ~net ~phase ~routing ~proto ~faulty ~hooks ~default ~sends =
+  let g = Transport.graph net in
   let verts = Digraph.vertices g in
   (* Validate sends: at most one per ordered pair, endpoints in graph. *)
   let seen = Hashtbl.create 16 in
@@ -107,7 +107,7 @@ let exchange ~sim ~phase ~routing ~proto ~faulty ~hooks ~default ~sends =
       in
       routed @ injected
     in
-    let inbox = Sim.round sim ~phase outbox in
+    let inbox = Transport.round net ~phase outbox in
     List.iter
       (fun v ->
         List.iter

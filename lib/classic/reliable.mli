@@ -32,7 +32,7 @@ type delivery = (int * int, Wire.payload) Hashtbl.t
 (** Majority-decoded payload per (origin, destination). *)
 
 val exchange :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   phase:string ->
   routing:Routing.t ->
   proto:string ->

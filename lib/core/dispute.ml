@@ -19,11 +19,11 @@ type verdict = {
   provably_faulty : Vset.t;
 }
 
-let honest_claims sim ~sim_phases ~me =
+let honest_claims net ~net_phases ~me =
   List.concat_map
     (fun phase ->
       List.filter_map
-        (fun (e : Packet.t Sim.event) ->
+        (fun (e : Transport.event) ->
           let claim dir =
             {
               Wire.c_phase = e.msg.Packet.proto;
@@ -37,8 +37,8 @@ let honest_claims sim ~sim_phases ~me =
           if e.src = me then Some (claim Wire.Sent)
           else if e.dst = me then Some (claim Wire.Received)
           else None)
-        (Sim.events_of_phase sim phase))
-    sim_phases
+        (Transport.events_of_phase net phase))
+    net_phases
 
 type claims_adversary = me:int -> Wire.claim list -> Wire.claim list
 
@@ -207,17 +207,17 @@ let parse_input ~value_bits payload =
   | Some bv -> bv
   | None -> Bitvec.create value_bits
 
-let run ~sim ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
+let run ~net ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
     ?input_adv ?eig_adv () =
   let verts = Digraph.vertices ctx.gk in
-  let obs = Sim.obs sim in
+  let obs = Transport.obs net in
   if Nab_obs.enabled obs then
-    Nab_obs.span_begin obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+    Nab_obs.span_begin obs ~scope:"proto" ~t:(Transport.timing net).Transport.wall
       ~attrs:
         [ ("nodes", Nab_obs.I (List.length verts)); ("f", Nab_obs.I ctx.f) ]
       "dispute-control";
   let my_claims v =
-    let honest = honest_claims sim ~sim_phases:[ "phase1"; "equality-check" ] ~me:v in
+    let honest = honest_claims net ~net_phases:[ "phase1"; "equality-check" ] ~me:v in
     if Vset.mem v faulty then claims_adv ~me:v honest else honest
   in
   let input_payload =
@@ -237,7 +237,7 @@ let run ~sim ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
       verts
   in
   let decisions =
-    Eig.broadcast_all ~sim ~nodes:verts ~phase:"dispute-control" ~routing ~f:ctx.f
+    Eig.broadcast_all ~net ~nodes:verts ~phase:"dispute-control" ~routing ~f:ctx.f
       ~inputs ~default:(Wire.Claims []) ~faulty ?adversary:eig_adv ()
   in
   let verdicts =
@@ -259,7 +259,7 @@ let run ~sim ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
       | (_, v) :: _ -> (List.length v.new_disputes, Vset.cardinal v.provably_faulty)
       | [] -> (0, 0)
     in
-    Nab_obs.span_end obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+    Nab_obs.span_end obs ~scope:"proto" ~t:(Transport.timing net).Transport.wall
       ~attrs:
         [
           ("new_disputes", Nab_obs.I disputes);

@@ -35,7 +35,7 @@ type verdict = {
   provably_faulty : Vset.t;  (** nodes caught by DC3 *)
 }
 
-val honest_claims : Packet.t Sim.t -> sim_phases:string list -> me:int -> Wire.claim list
+val honest_claims : Transport.t -> net_phases:string list -> me:int -> Wire.claim list
 (** A node's true transcript for the given simulator phases, as claims. *)
 
 type claims_adversary = me:int -> Wire.claim list -> Wire.claim list
@@ -44,7 +44,7 @@ type claims_adversary = me:int -> Wire.claim list -> Wire.claim list
 val honest_claims_adv : claims_adversary
 
 val run :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   routing:Routing.t ->
   ctx:ctx ->
   faulty:Vset.t ->

@@ -24,14 +24,14 @@ let expected_flag coding ~graph ~me ~x ~received =
       | Some data -> not (Coding.check coding ~edge:(src, me) ~x ~received:data))
     (Digraph.in_edges graph me)
 
-let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
-  let g = match graph with Some g -> g | None -> Sim.graph sim in
+let run ~net ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
+  let g = match graph with Some g -> g | None -> Transport.graph net in
   let verts = Digraph.vertices g in
-  let obs = Sim.obs sim in
+  let obs = Transport.obs net in
   (* Hoisted once: every outgoing packet of every node shares the field. *)
   let sym_bits = Nab_field.Gf2p.degree (Coding.field coding) in
   if Nab_obs.enabled obs then
-    Nab_obs.span_begin obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+    Nab_obs.span_begin obs ~scope:"proto" ~t:(Transport.timing net).Transport.wall
       ~attrs:
         [
           ("phase", Nab_obs.S phase);
@@ -47,7 +47,7 @@ let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
         (dst, Packet.direct ~proto ~origin:v ~dst (Wire.Coded { sym_bits; data = y })))
       (Digraph.out_edges g v)
   in
-  let inbox = Sim.round sim ~phase outbox in
+  let inbox = Transport.round net ~phase outbox in
   let flags =
     List.map
       (fun v ->
@@ -63,7 +63,7 @@ let run ~sim ?graph ~phase ~coding ~values ~faulty ?(adversary = honest) () =
   if Nab_obs.enabled obs then begin
     let mismatches = List.length (List.filter snd flags) in
     Nab_obs.add obs "ec.mismatch_flags" mismatches;
-    Nab_obs.span_end obs ~scope:"proto" ~t:(Sim.timing sim).Sim.wall
+    Nab_obs.span_end obs ~scope:"proto" ~t:(Transport.timing net).Transport.wall
       ~attrs:[ ("mismatch_flags", Nab_obs.I mismatches) ]
       "equality-check"
   end;

@@ -17,7 +17,7 @@ type adversary = me:int -> dst:int -> int array -> int array
 val honest : adversary
 
 val run :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   ?graph:Digraph.t ->
   phase:string ->
   coding:Coding.t ->
@@ -26,7 +26,7 @@ val run :
   ?adversary:adversary ->
   unit ->
   (int * bool) list
-(** [run ~sim ~phase ~coding ~values ~faulty ()] performs the check on
+(** [run ~net ~phase ~coding ~values ~faulty ()] performs the check on
     [graph] (default: the simulator's graph — pass G_k explicitly when the
     simulator carries the full physical network), where [values v] is node
     v's symbol vector X_v (stripes * rho symbols). Returns each node's 1-bit

@@ -137,6 +137,7 @@ type session = {
   ses_faulty : Vset.t;
   ses_total_n : int;
   ses_obs : Nab_obs.ctx;
+  ses_transport : Transport.factory;
   ses_plans : ((int * int * int) list * int list, graph_plan) Hashtbl.t;
   mutable ses_gk : Digraph.t;
   mutable ses_disputes : Params.dispute list;
@@ -145,7 +146,8 @@ type session = {
   mutable ses_instances : instance_report list; (* reversed *)
 }
 
-let create_session ?(obs = Nab_obs.null) ~g ~config ~adversary () =
+let create_session ?(obs = Nab_obs.null) ?(transport = Sim.factory ()) ~g
+    ~config ~adversary () =
   let { f; source; _ } = validate_config config in
   if not (Digraph.mem_vertex g source) then invalid_arg "Nab.create_session: source absent";
   if not (Connectivity.meets_requirement g ~f) then
@@ -160,6 +162,7 @@ let create_session ?(obs = Nab_obs.null) ~g ~config ~adversary () =
     ses_faulty = faulty;
     ses_total_n = Digraph.num_vertices g;
     ses_obs = obs;
+    ses_transport = transport;
     ses_plans = Hashtbl.create 4;
     ses_gk = g;
     ses_disputes = [];
@@ -176,17 +179,17 @@ let session_instances ses = List.rev ses.ses_instances
 
 (* Per-instance roll-up into the instrumentation context: cumulative bits
    per link and rounds/bits per phase, from the instance's simulator. *)
-let flush_sim_obs obs sim =
+let flush_sim_obs obs net =
   if Nab_obs.enabled obs then begin
     List.iter
       (fun ((s, d), b) ->
         Nab_obs.add obs (Printf.sprintf "sim.link_bits.%d->%d" s d) b)
-      (Sim.link_bits sim);
+      (Transport.link_bits net);
     List.iter
       (fun (ps : Sim.phase_stat) ->
         Nab_obs.add obs ("sim.phase." ^ ps.Sim.phase ^ ".rounds") ps.Sim.rounds;
         Nab_obs.add obs ("sim.phase." ^ ps.Sim.phase ^ ".bits") ps.Sim.bits_total)
-      (Sim.timing sim).Sim.phases
+      (Transport.timing net).Sim.phases
   end
 
 let session_broadcast ses input0 =
@@ -263,23 +266,23 @@ let session_broadcast ses input0 =
            Phases 1 and 2.1 structurally restrict themselves to G_k. *)
         (* keep_events: dispute control draws honest claims from the
            delivery trace (Dispute.honest_claims reads events_of_phase). *)
-        let sim = Sim.create ~obs ~keep_events:true ses.ses_g ~bits:Packet.bits in
+        let net = ses.ses_transport ~obs ~keep_events:true ses.ses_g in
         (* ---- Phase 1: unreliable broadcast over the tree packing ---- *)
         let received =
-          Phase1.run ~sim ~phase:"phase1" ~trees:plan.plan_trees ~source ~value ~faulty
+          Phase1.run ~net ~phase:"phase1" ~trees:plan.plan_trees ~source ~value ~faulty
             ~adversary:(adversary.Adversary.phase1 actx) ()
         in
-        (* The NAB data plane runs on a zero-delay fabric: phase 1 must hand
-           over with nothing still in flight (Phase1.run drains otherwise). *)
-        assert (Sim.pending_count sim = 0);
+        (* The NAB data plane hands over with nothing still in flight
+           whatever the backend (Phase1.run drains otherwise). *)
+        assert (Transport.pending_count net = 0);
         let sizes = Phase1.slice_sizes ~value_bits ~trees:plan.plan_gamma in
         let assembled v =
           if v = source then value else Phase1.assemble ~slice_sizes:sizes (received v)
         in
         if reduced then begin
           (* All faulty nodes are excluded: Phase 1 alone is reliable. *)
-          flush_sim_obs obs sim;
-          let tm = Sim.timing sim in
+          flush_sim_obs obs net;
+          let tm = Transport.timing net in
           {
             k;
             value_bits;
@@ -296,7 +299,7 @@ let session_broadcast ses input0 =
             wall_time = tm.Sim.wall;
             pipelined_time = tm.Sim.pipelined;
             phase_stats = tm.Sim.phases;
-            utilization = Sim.utilization sim;
+            utilization = Transport.utilization net;
             new_disputes = [];
           }
         end
@@ -304,7 +307,7 @@ let session_broadcast ses input0 =
           (* ---- Phase 2, step 2.1: equality check ---- *)
           let x_of v = Bitvec.to_symbols (assembled v) ~sym_bits:m in
           let own_flags =
-            Equality_check.run ~sim ~graph:ses.ses_gk ~phase:"equality-check"
+            Equality_check.run ~net ~graph:ses.ses_gk ~phase:"equality-check"
               ~coding:plan.plan_coding ~values:x_of ~faulty
               ~adversary:(adversary.Adversary.ec actx) ()
           in
@@ -328,12 +331,12 @@ let session_broadcast ses input0 =
           let flag_decisions =
             match backend with
             | `Eig ->
-                Eig.broadcast_all ~sim ~nodes:participants ~phase:"flags" ~routing
+                Eig.broadcast_all ~net ~nodes:participants ~phase:"flags" ~routing
                   ~f:f_eff ~inputs:flag_inputs ~default:(Wire.Flag false) ~faulty
                   ~adversary:(adversary.Adversary.flag_eig actx)
                   ~reliable_hooks:(adversary.Adversary.reliable actx) ()
             | `Phase_king ->
-                Phase_king.broadcast_all ~sim ~nodes:participants ~phase:"flags"
+                Phase_king.broadcast_all ~net ~nodes:participants ~phase:"flags"
                   ~routing ~f:f_eff ~inputs:flag_inputs ~default:(Wire.Flag false)
                   ~faulty ~reliable_hooks:(adversary.Adversary.reliable actx) ()
           in
@@ -352,8 +355,8 @@ let session_broadcast ses input0 =
           let flags = List.map (fun v -> (v, agreed_flag v)) (Digraph.vertices ses.ses_gk) in
           let mismatch = List.exists snd flags in
           if not mismatch then begin
-            flush_sim_obs obs sim;
-            let tm = Sim.timing sim in
+            flush_sim_obs obs net;
+            let tm = Transport.timing net in
             {
               k;
               value_bits;
@@ -370,7 +373,7 @@ let session_broadcast ses input0 =
               wall_time = tm.Sim.wall;
               pipelined_time = tm.Sim.pipelined;
               phase_stats = tm.Sim.phases;
-              utilization = Sim.utilization sim;
+              utilization = Transport.utilization net;
               new_disputes = [];
             }
           end
@@ -390,7 +393,7 @@ let session_broadcast ses input0 =
               }
             in
             let verdicts =
-              Dispute.run ~sim ~routing ~ctx ~faulty ~true_input:value
+              Dispute.run ~net ~routing ~ctx ~faulty ~true_input:value
                 ~claims_adv:(adversary.Adversary.dc_claims actx)
                 ?input_adv:(adversary.Adversary.dc_input actx)
                 ~eig_adv:(adversary.Adversary.dc_eig actx) ()
@@ -405,7 +408,7 @@ let session_broadcast ses input0 =
             Nab_obs.add obs "nab.dc_runs" 1;
             Nab_obs.add obs "nab.disputes" (List.length new_disputes);
             if Nab_obs.enabled obs then
-              Nab_obs.point obs ~scope:"nab" ~t:(Sim.timing sim).Sim.wall
+              Nab_obs.point obs ~scope:"nab" ~t:(Transport.timing net).Sim.wall
                 ~attrs:
                   [
                     ("k", Nab_obs.I k);
@@ -414,8 +417,8 @@ let session_broadcast ses input0 =
                       Nab_obs.I (Vset.cardinal vantage_verdict.Dispute.provably_faulty) );
                   ]
                 "dispute-control";
-            flush_sim_obs obs sim;
-            let tm = Sim.timing sim in
+            flush_sim_obs obs net;
+            let tm = Transport.timing net in
             let report =
               {
                 k;
@@ -434,11 +437,20 @@ let session_broadcast ses input0 =
                 wall_time = tm.Sim.wall;
                 pipelined_time = tm.Sim.pipelined;
                 phase_stats = tm.Sim.phases;
-                utilization = Sim.utilization sim;
+                utilization = Transport.utilization net;
                 new_disputes;
               }
             in
-            assert (Sim.pending_count sim = 0);
+            (* The synchronous fabric is always quiet here; an async
+               backend under latency faults may still have stragglers in
+               flight — flush them so nothing is silently stranded (the
+               drain is a no-op when the fabric is quiet). *)
+            if Transport.pending_count net > 0 then begin
+              let (_ : int -> (int * Packet.t) list) =
+                Transport.drain net ~phase:"drain"
+              in
+              ()
+            end;
             ses.ses_gk <- Params.apply_disputes ses.ses_gk ~total_n ~f ~disputes:ses.ses_disputes;
             report
           end
@@ -493,8 +505,8 @@ let session_report ses =
       (if total_pipelined > 0.0 then bits_total /. total_pipelined else infinity);
   }
 
-let run ?obs ~g ~config ~adversary ~inputs ~q () =
-  let ses = create_session ?obs ~g ~config ~adversary () in
+let run ?obs ?transport ~g ~config ~adversary ~inputs ~q () =
+  let ses = create_session ?obs ?transport ~g ~config ~adversary () in
   for k = 1 to q do
     ignore (session_broadcast ses (inputs k))
   done;

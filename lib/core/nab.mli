@@ -121,6 +121,7 @@ type session
 
 val create_session :
   ?obs:Nab_obs.ctx ->
+  ?transport:Transport.factory ->
   g:Digraph.t ->
   config:config ->
   adversary:Adversary.t ->
@@ -129,6 +130,12 @@ val create_session :
 (** Validates the configuration ({!validate_config}) and the network
     (n >= 3f+1, connectivity >= 2f+1, source present) and fixes the
     corrupted node set for the whole session.
+
+    [transport] (default {!Sim.factory}[ ()]) supplies the network backend:
+    every instance broadcast creates one transport over the session graph
+    through it. Pass {!Async_sim.factory} for the event-driven backend with
+    injected faults; decisions under [Async_sim.no_faults] match the sync
+    backend exactly (the differential gate in [bench/async.exe] holds this).
 
     [obs] (default {!Nab_obs.null}) observes every instance broadcast on
     the session: each instance's simulator reports its rounds and sampled
@@ -158,6 +165,7 @@ val session_report : session -> run_report
 
 val run :
   ?obs:Nab_obs.ctx ->
+  ?transport:Transport.factory ->
   g:Digraph.t ->
   config:config ->
   adversary:Adversary.t ->

@@ -35,11 +35,11 @@ let assemble ~slice_sizes per_tree =
 
 (* Instrumentation: one span per Phase-1 execution, timestamped in
    simulated time, tagged with the tree count and payload width. *)
-let span sim ~phase ~trees ~bits which f =
-  let obs = Sim.obs sim in
+let span net ~phase ~trees ~bits which f =
+  let obs = Transport.obs net in
   if not (Nab_obs.enabled obs) then f ()
   else begin
-    let now () = (Sim.timing sim).Sim.wall in
+    let now () = (Transport.timing net).Transport.wall in
     let attrs =
       [ ("phase", Nab_obs.S phase); ("trees", Nab_obs.I trees); ("bits", Nab_obs.I bits) ]
     in
@@ -49,12 +49,12 @@ let span sim ~phase ~trees ~bits which f =
     r
   end
 
-let run ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest) () =
-  let g = Sim.graph sim in
+let run ~net ~phase ~trees ~source ~value ~faulty ?(adversary = honest) () =
+  let g = Transport.graph net in
   let verts = Digraph.vertices g in
   let n_trees = List.length trees in
   if n_trees = 0 then invalid_arg "Phase1.run: no trees";
-  span sim ~phase ~trees:n_trees ~bits:(Bitvec.length value) "phase1" @@ fun () ->
+  span net ~phase ~trees:n_trees ~bits:(Bitvec.length value) "phase1" @@ fun () ->
   let sizes = slice_sizes ~value_bits:(Bitvec.length value) ~trees:n_trees in
   let slices = Array.of_list (Bitvec.split_balanced value ~parts:n_trees) in
   let trees = Array.of_list trees in
@@ -113,21 +113,21 @@ let run ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest) () =
                  kids
              end))
     in
-    absorb (Sim.round sim ~phase outbox)
+    absorb (Transport.round net ~phase outbox)
   done;
   (* On a delayed network the schedule can end with slices still in flight
      (a hop whose propagation delay reaches past round [max_depth]); drain
      the fabric so final-hop deliveries are not silently dropped. *)
-  if Sim.pending_count sim > 0 then absorb (Sim.drain sim ~phase);
+  if Transport.pending_count net > 0 then absorb (Transport.drain net ~phase);
   fun v -> Array.map (fun tbl -> Hashtbl.find_opt tbl v) received
 
-let run_flood ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
+let run_flood ~net ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
     ?max_rounds () =
-  let g = Sim.graph sim in
+  let g = Transport.graph net in
   let verts = Digraph.vertices g in
   let n_trees = List.length trees in
   if n_trees = 0 then invalid_arg "Phase1.run_flood: no trees";
-  span sim ~phase ~trees:n_trees ~bits:(Bitvec.length value) "phase1-flood"
+  span net ~phase ~trees:n_trees ~bits:(Bitvec.length value) "phase1-flood"
   @@ fun () ->
   let sizes = slice_sizes ~value_bits:(Bitvec.length value) ~trees:n_trees in
   let slices = Array.of_list (Bitvec.split_balanced value ~parts:n_trees) in
@@ -190,10 +190,10 @@ let run_flood ~sim ~phase ~trees ~source ~value ~faulty ?(adversary = honest)
                  (Arborescence.children trees.(t) v)
              end))
     in
-    absorb (Sim.round sim ~phase outbox)
+    absorb (Transport.round net ~phase outbox)
   done;
   (* The flood keeps turning the engine while incomplete, so in-flight
      messages normally arrive inside the loop; only a [max_rounds] exit can
      leave some stranded. Drain so they at least reach [received]. *)
-  if Sim.pending_count sim > 0 then absorb (Sim.drain sim ~phase);
+  if Transport.pending_count net > 0 then absorb (Transport.drain net ~phase);
   fun v -> Array.map (fun tbl -> Hashtbl.find_opt tbl v) received

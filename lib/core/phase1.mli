@@ -16,7 +16,7 @@ type adversary = me:int -> tree:int -> dst:int -> Wire.payload -> Wire.payload o
 val honest : adversary
 
 val run :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   phase:string ->
   trees:Arborescence.tree list ->
   source:int ->
@@ -31,7 +31,7 @@ val run :
     arrived). The source's own entries are its true slices. *)
 
 val run_flood :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   phase:string ->
   trees:Arborescence.tree list ->
   source:int ->

@@ -18,7 +18,7 @@ type result = {
 
 let proto ~tree ~instance = Printf.sprintf "pp1:%d:%d" tree instance
 
-let run ~g ~config ~inputs ~q =
+let run ?(transport = Sim.factory ()) ~g ~config ~inputs ~q () =
   let { Nab.f; source; l_bits; m; seed = _; flag_backend = _ } = config in
   if q < 1 then invalid_arg "Pipelined.run: q must be positive";
   if not (Connectivity.meets_requirement g ~f) then
@@ -43,7 +43,7 @@ let run ~g ~config ~inputs ~q =
       (fun acc by_depth -> List.fold_left (fun acc (_, d) -> max acc d) acc by_depth)
       1 depth_of
   in
-  let sim = Sim.create g ~bits:Packet.bits in
+  let net = transport ~obs:Nab_obs.null ~keep_events:false g in
   let routing = Routing.build g ~f in
   (* received.(tree) : (instance, node) -> payload *)
   let received = Array.init gamma (fun _ -> Hashtbl.create 64) in
@@ -82,7 +82,7 @@ let run ~g ~config ~inputs ~q =
                      (Arborescence.children trees.(t) v)
                  end))
     in
-    let inbox = Sim.round sim ~phase:"pipe-phase1" outbox in
+    let inbox = Transport.round net ~phase:"pipe-phase1" outbox in
     List.iter
       (fun v ->
         List.iter
@@ -107,12 +107,12 @@ let run ~g ~config ~inputs ~q =
         Bitvec.to_symbols (Phase1.assemble ~slice_sizes:sizes per_tree) ~sym_bits:m
       in
       let flags =
-        Equality_check.run ~sim ~graph:g ~phase:"pipe-equality-check" ~coding
+        Equality_check.run ~net ~graph:g ~phase:"pipe-equality-check" ~coding
           ~values:x_of ~faulty:Vset.empty ()
       in
       let flag_inputs = List.map (fun (v, b) -> (v, Wire.Flag b)) flags in
       let decisions =
-        Eig.broadcast_all ~sim ~phase:"pipe-flags" ~routing ~f ~inputs:flag_inputs
+        Eig.broadcast_all ~net ~phase:"pipe-flags" ~routing ~f ~inputs:flag_inputs
           ~default:(Wire.Flag false) ~faulty:Vset.empty ()
       in
       let mismatch =
@@ -129,7 +129,14 @@ let run ~g ~config ~inputs ~q =
       if not (List.for_all (fun v -> x_of v = expected) verts) then all_ok := false
     end
   done;
-  let completion = (Sim.timing sim).Sim.wall in
+  (* An async backend may hold late messages after the last scheduled
+     round; count that tail into the completion time. *)
+  (if Transport.pending_count net > 0 then
+     let (_ : int -> (int * Packet.t) list) =
+       Transport.drain net ~phase:"pipe-drain"
+     in
+     ());
+  let completion = (Transport.timing net).Sim.wall in
   let round_core =
     float_of_int value_bits
     *. ((1.0 /. float_of_int gamma) +. (1.0 /. float_of_int rho))

@@ -12,6 +12,7 @@
     happen at most f(f+1) times, so it does not affect the limit). *)
 
 open Nab_graph
+open Nab_net
 
 type result = {
   q : int;
@@ -30,5 +31,13 @@ type result = {
 }
 
 val run :
-  g:Digraph.t -> config:Nab.config -> inputs:(int -> Bitvec.t) -> q:int -> result
-(** Raises like {!Nab.run} on infeasible networks. *)
+  ?transport:Transport.factory ->
+  g:Digraph.t ->
+  config:Nab.config ->
+  inputs:(int -> Bitvec.t) ->
+  q:int ->
+  unit ->
+  result
+(** Raises like {!Nab.run} on infeasible networks. [transport] (default
+    {!Sim.factory}[ ()]) supplies the network backend the pipeline runs
+    on. *)

@@ -25,8 +25,8 @@ type buffer = { mutable rows : coded list; by_pivot : coded option array }
 
 let proto = "rlnc"
 
-let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
-  let g = Sim.graph sim in
+let broadcast ~net ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
+  let g = Transport.graph net in
   let verts = Digraph.vertices g in
   let n = List.length verts in
   let l = Bitvec.length value in
@@ -131,7 +131,7 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
               (List.init cap Fun.id))
           (Digraph.out_edges g v)
     in
-    let inbox = Sim.round sim ~phase outbox in
+    let inbox = Transport.round net ~phase outbox in
     List.iter
       (fun v ->
         if v <> source then
@@ -178,7 +178,7 @@ let broadcast ~sim ~phase ~source ~value ~gamma ~m ~seed ?max_rounds () =
     decoded;
     rounds = !rounds;
     all_decoded = List.for_all (fun (_, d) -> d <> None) decoded;
-    wall_time = (Sim.timing sim).Sim.wall;
+    wall_time = (Transport.timing net).Transport.wall;
     payload_bits = !payload_bits;
     header_bits = !header_bits;
   }

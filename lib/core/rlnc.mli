@@ -28,7 +28,7 @@ type result = {
 }
 
 val broadcast :
-  sim:Packet.t Sim.t ->
+  net:Transport.t ->
   phase:string ->
   source:int ->
   value:Bitvec.t ->

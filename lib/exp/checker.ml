@@ -106,14 +106,18 @@ let oblivious_gap ctx =
   let f = ctx.report.Nab.config.Nab.f in
   let l = ctx.scenario.Scenario.l_bits in
   let sym_bits = if l mod 8 = 0 then 8 else 1 in
-  let sim = Nab_net.Sim.create g ~bits:Nab_net.Packet.bits in
+  (* The oracle measures the sync timing model whatever backend the
+     scenario ran on — it is a capacity ceiling, not a fault experiment. *)
+  let net =
+    Nab_net.Sim.transport (Nab_net.Sim.create g ~bits:Nab_net.Packet.bits)
+  in
   let routing = Nab_classic.Routing.build g ~f in
   let data = Bitvec.to_symbols (Bitvec.pad_to (ctx.inputs 1) l) ~sym_bits in
   let _decisions =
-    Nab_classic.Oblivious.broadcast ~sim ~routing ~f ~source:(source ctx) ~value_bits:l
+    Nab_classic.Oblivious.broadcast ~net ~routing ~f ~source:(source ctx) ~value_bits:l
       ~data ~faulty:Vset.empty ()
   in
-  let time = (Nab_net.Sim.timing sim).Nab_net.Sim.pipelined in
+  let time = (Nab_net.Transport.timing net).Nab_net.Transport.pipelined in
   let obl = float_of_int l /. time in
   let s = Params.stars g ~source:(source ctx) ~f in
   let below_capacity = obl <= s.Params.capacity_ub +. eps in

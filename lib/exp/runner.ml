@@ -38,7 +38,10 @@ let run_scenario scenario =
     let config = Scenario.config scenario in
     let adversary = Scenario.adversary_t scenario in
     let inputs = Scenario.inputs scenario in
-    let report = Nab.run ~g ~config ~adversary ~inputs ~q:scenario.Scenario.q () in
+    let transport = Scenario.transport_factory scenario in
+    let report =
+      Nab.run ~transport ~g ~config ~adversary ~inputs ~q:scenario.Scenario.q ()
+    in
     let ctx = { Checker.scenario; g; report; inputs } in
     let checks = Checker.evaluate ctx ~names:scenario.Scenario.checks in
     (g, report, checks)

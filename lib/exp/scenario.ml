@@ -25,6 +25,8 @@ type topo =
 
 type adversary_spec = { adv : string; disabled : string list }
 
+type backend = Sync | Async of Nab_net.Async_sim.fault_spec
+
 type t = {
   id : string;
   topo : topo;
@@ -37,6 +39,7 @@ type t = {
   flag_backend : [ `Eig | `Phase_king ];
   checks : string list;
   min_gap : float option;
+  backend : backend;
 }
 
 (* ---- identifiers ---- *)
@@ -74,10 +77,16 @@ let topo_label = function
 let adv_label { adv; disabled } =
   if disabled = [] then adv else adv ^ "-no_" ^ String.concat "+" disabled
 
+(* Sync scenarios keep their pre-backend ids (every committed baseline id
+   stays byte-identical); async runs append the fault-spec content, so two
+   scenarios differing only in injected faults never collide. *)
 let derive_id s =
-  Printf.sprintf "%s/%s/f%d-l%d-m%d-s%d-q%d%s" (topo_label s.topo)
+  Printf.sprintf "%s/%s/f%d-l%d-m%d-s%d-q%d%s%s" (topo_label s.topo)
     (adv_label s.adversary) s.f s.l_bits s.m s.seed s.q
     (match s.flag_backend with `Eig -> "" | `Phase_king -> "-pk")
+    (match s.backend with
+    | Sync -> ""
+    | Async spec -> "+async-" ^ Nab_net.Async_sim.spec_label spec)
 
 (* ---- construction ---- *)
 
@@ -86,7 +95,7 @@ let invariant_checks =
 
 let make ?id ?(adversary = "none") ?(disabled = []) ?(f = 1) ?(l_bits = 256) ?(m = 16)
     ?(seed = 7) ?(q = 2) ?(flag_backend = `Eig) ?(checks = invariant_checks) ?min_gap
-    topo () =
+    ?(backend = Sync) topo () =
   let s =
     {
       id = "";
@@ -100,9 +109,17 @@ let make ?id ?(adversary = "none") ?(disabled = []) ?(f = 1) ?(l_bits = 256) ?(m
       flag_backend;
       checks;
       min_gap;
+      backend;
     }
   in
   { s with id = (match id with Some i -> i | None -> derive_id s) }
+
+let with_backend backend s = { s with backend; id = derive_id { s with backend } }
+
+let transport_factory s =
+  match s.backend with
+  | Sync -> Nab_net.Sim.factory ()
+  | Async spec -> Nab_net.Async_sim.factory ~spec ()
 
 (* ---- materialization ---- *)
 
@@ -232,6 +249,38 @@ let topo_to_json t : Json.t =
 
 let backend_to_string = function `Eig -> "eig" | `Phase_king -> "phase_king"
 
+let fault_spec_to_json (spec : Nab_net.Async_sim.fault_spec) : Json.t =
+  Json.Obj
+    ([
+       ("latency", Json.Str (Nab_net.Async_sim.latency_to_string spec.latency));
+       ("jitter", Json.float spec.jitter);
+       ("reorder", Json.float spec.reorder);
+       ("reorder_delay", Json.float spec.reorder_delay);
+       ("crash", Json.Str (Nab_net.Async_sim.crash_to_string spec.crash));
+       ("seed", Json.Int spec.seed);
+     ]
+    @
+    match spec.partitions with
+    | [] -> []
+    | ps ->
+        [
+          ( "partitions",
+            Json.List
+              (List.map
+                 (fun (p : Nab_net.Async_sim.partition) ->
+                   Json.Obj
+                     [
+                       ( "cut",
+                         Json.List
+                           (List.map
+                              (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ])
+                              p.cut) );
+                       ("from", Json.float p.from_t);
+                       ("until", Json.float p.until_t);
+                     ])
+                 ps) );
+        ])
+
 let to_json s : Json.t =
   Json.Obj
     ([
@@ -251,7 +300,12 @@ let to_json s : Json.t =
        ("flag_backend", Json.Str (backend_to_string s.flag_backend));
        ("checks", Json.List (List.map (fun c -> Json.Str c) s.checks));
      ]
-    @ match s.min_gap with None -> [] | Some g -> [ ("min_gap", Json.float g) ])
+    @ (match s.min_gap with None -> [] | Some g -> [ ("min_gap", Json.float g) ])
+    (* emitted only for async scenarios, so sync JSON stays byte-identical
+       to the pre-backend format (committed baselines, shrinker repros) *)
+    @ match s.backend with
+      | Sync -> []
+      | Async spec -> [ ("backend", fault_spec_to_json spec) ])
 
 (* Strict field accessors shared by the decoders. *)
 let ( let* ) = Result.bind
@@ -357,6 +411,54 @@ let str_list_field name j =
       | None -> Error (Printf.sprintf "field %S must hold strings" name))
     l (Ok [])
 
+let fault_spec_of_json j : (Nab_net.Async_sim.fault_spec, string) result =
+  let* lat_s = str_field "latency" j in
+  let* latency = Nab_net.Async_sim.latency_of_string lat_s in
+  let* jitter = float_field "jitter" j in
+  let* reorder = float_field "reorder" j in
+  let* reorder_delay = float_field "reorder_delay" j in
+  let* crash_s = str_field "crash" j in
+  let* crash = Nab_net.Async_sim.crash_of_string crash_s in
+  let* seed = int_field "seed" j in
+  let* partitions =
+    match Json.member "partitions" j with
+    | None -> Ok []
+    | Some pj -> (
+        match Json.get_list pj with
+        | None -> Error "field \"partitions\" must be a list"
+        | Some ps ->
+            List.fold_right
+              (fun pj acc ->
+                let* acc = acc in
+                let* cut_j = list_field "cut" pj in
+                let* cut =
+                  List.fold_right
+                    (fun e acc ->
+                      let* acc = acc in
+                      match Json.get_list e with
+                      | Some [ a; b ] -> (
+                          match (Json.get_int a, Json.get_int b) with
+                          | Some a, Some b -> Ok ((a, b) :: acc)
+                          | _ -> Error "partition cut entries must be ints")
+                      | _ -> Error "partition cut edge must be [src,dst]")
+                    cut_j (Ok [])
+                in
+                let* from_t = float_field "from" pj in
+                let* until_t = float_field "until" pj in
+                Ok ({ Nab_net.Async_sim.cut; from_t; until_t } :: acc))
+              ps (Ok []))
+  in
+  Ok
+    {
+      Nab_net.Async_sim.latency;
+      jitter;
+      reorder;
+      reorder_delay;
+      crash;
+      partitions;
+      seed;
+    }
+
 let of_json j =
   let* id = str_field "id" j in
   let* topo_j = field "topo" Option.some j in
@@ -385,6 +487,14 @@ let of_json j =
         | Some g -> Ok (Some g)
         | None -> Error "field \"min_gap\" has the wrong type")
   in
+  let* backend =
+    (* absent = Sync: pre-backend scenario JSON decodes unchanged *)
+    match Json.member "backend" j with
+    | None -> Ok Sync
+    | Some bj ->
+        let* spec = fault_spec_of_json bj in
+        Ok (Async spec)
+  in
   Ok
     {
       id;
@@ -398,6 +508,7 @@ let of_json j =
       flag_backend;
       checks;
       min_gap;
+      backend;
     }
 
 let of_string s =

@@ -44,6 +44,13 @@ type topo =
   | Fig2
   | Explicit of { vertices : int list; edges : (int * int * int) list }
 
+type backend = Sync | Async of Nab_net.Async_sim.fault_spec
+(** Which network backend the scenario runs on: the synchronous reference
+    simulator (the default — all pre-existing scenarios) or the
+    event-driven {!Nab_net.Async_sim} with the given injected-fault spec.
+    The spec is content: it is part of the derived id and the JSON codec,
+    so async runs are replayable and diffable like sync ones. *)
+
 type adversary_spec = { adv : string; disabled : string list }
 (** An adversary by name ({!Nab_core.Adversary.find} vocabulary, so
     ["chaos:SEED"] works) with a set of deviation hooks forced back to
@@ -64,6 +71,7 @@ type t = {
   min_gap : float option;
       (** for the ["oblivious-gap"] oracle: require
           [throughput_lb >= min_gap * oblivious_throughput] *)
+  backend : backend;  (** network backend; {!Sync} unless set explicitly *)
 }
 
 val invariant_checks : string list
@@ -85,6 +93,7 @@ val make :
   ?flag_backend:[ `Eig | `Phase_king ] ->
   ?checks:string list ->
   ?min_gap:float ->
+  ?backend:backend ->
   topo ->
   unit ->
   t
@@ -95,7 +104,17 @@ val make :
 
 val derive_id : t -> string
 (** The canonical content-derived identifier; {!make} applies it, and the
-    shrinker re-applies it after every transformation. *)
+    shrinker re-applies it after every transformation. Sync scenarios keep
+    their historical ids; async ones append
+    ["+async-" ^ ]{!Nab_net.Async_sim.spec_label}. *)
+
+val with_backend : backend -> t -> t
+(** Switch the backend and re-derive the id — how [campaign --backend
+    async] lifts a sync scenario set onto the async backend. *)
+
+val transport_factory : t -> Nab_net.Transport.factory
+(** The {!Nab_net.Transport.factory} realizing {!t.backend} — what the
+    runner passes to [Nab.run]. *)
 
 val graph : t -> Digraph.t
 (** Materialize the topology (deterministic; [Random_feasible] uses its own
@@ -129,7 +148,10 @@ val register_adversary : string -> Adversary.t -> unit
 val to_json : t -> Nab_obs.Json.t
 val of_json : Nab_obs.Json.t -> (t, string) result
 (** Lossless round-trip: [of_json (to_json s) = Ok s]. Every field is
-    type-checked; the error names the offending field. *)
+    type-checked; the error names the offending field. The ["backend"]
+    field is emitted only for async scenarios and defaults to {!Sync} when
+    absent, so pre-backend scenario JSON (committed baselines, repro
+    bundles) encodes and decodes byte-identically. *)
 
 val of_string : string -> (t, string) result
 

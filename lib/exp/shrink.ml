@@ -150,18 +150,48 @@ let shrink ?(max_runs = 400) s0 =
 
 let backend_flag = function `Eig -> "eig" | `Phase_king -> "phase-king"
 
+(* Async scenarios replay over the nab_cli fault flags; partitioned specs
+   have no flag form (replay those via [campaign replay scenario.json]). *)
+let fault_flags (s : Scenario.t) =
+  match s.Scenario.backend with
+  | Scenario.Sync -> Some ""
+  | Scenario.Async spec ->
+      if spec.partitions <> [] then None
+      else begin
+        let buf = Buffer.create 64 in
+        Buffer.add_string buf " --backend async";
+        (match spec.latency with
+        | Nab_net.Async_sim.Zero -> ()
+        | l ->
+            Buffer.add_string buf
+              (" --latency " ^ Nab_net.Async_sim.latency_to_string l));
+        if spec.jitter > 0.0 then
+          Buffer.add_string buf (Printf.sprintf " --jitter %g" spec.jitter);
+        if spec.reorder > 0.0 then
+          Buffer.add_string buf
+            (if spec.reorder_delay > 0.0 then
+               Printf.sprintf " --reorder %g:%g" spec.reorder spec.reorder_delay
+             else Printf.sprintf " --reorder %g" spec.reorder);
+        if spec.crash <> [] then
+          Buffer.add_string buf
+            (" --crash " ^ Nab_net.Async_sim.crash_to_string spec.crash);
+        if spec.seed <> 0 then
+          Buffer.add_string buf (Printf.sprintf " --fault-seed %d" spec.seed);
+        Some (Buffer.contents buf)
+      end
+
 let cli_command (s : Scenario.t) ~graph_file =
   let open Scenario in
   if s.adversary.disabled <> [] then None
   else
-    match Adversary.find s.adversary.adv with
-    | None -> None
-    | Some _ ->
+    match (Adversary.find s.adversary.adv, fault_flags s) with
+    | None, _ | _, None -> None
+    | Some _, Some faults ->
         Some
           (Printf.sprintf
-             "dune exec bin/nab_cli.exe -- run -g @%s -f %d -l %d --m %d --seed %d -a %s -q %d --flag-backend %s"
+             "dune exec bin/nab_cli.exe -- run -g @%s -f %d -l %d --m %d --seed %d -a %s -q %d --flag-backend %s%s"
              graph_file s.f s.l_bits s.m s.seed s.adversary.adv s.q
-             (backend_flag s.flag_backend))
+             (backend_flag s.flag_backend) faults)
 
 let replay_command ~scenario_file =
   Printf.sprintf "dune exec bin/campaign.exe -- replay %s" scenario_file

@@ -1,0 +1,569 @@
+open Nab_graph
+
+type latency = Zero | Const of float | Uniform of float * float | Exp of float
+
+type partition = { cut : (int * int) list; from_t : float; until_t : float }
+
+type fault_spec = {
+  latency : latency;
+  jitter : float;
+  reorder : float;
+  reorder_delay : float;
+  crash : (int * float) list;
+  partitions : partition list;
+  seed : int;
+}
+
+let no_faults =
+  {
+    latency = Zero;
+    jitter = 0.0;
+    reorder = 0.0;
+    reorder_delay = 0.0;
+    crash = [];
+    partitions = [];
+    seed = 0;
+  }
+
+type phase_acc = {
+  mutable p_rounds : int;
+  mutable p_wall : float;
+  mutable p_bottleneck : float;
+  mutable p_bits : int;
+  mutable p_extra : float;
+}
+
+(* The event queue: arrival time + a per-run sequence number (ties broken
+   in send order, which at zero faults reproduces the synchronous delivery
+   order exactly). *)
+module Pq = Map.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+type t = {
+  g : Digraph.t;
+  spec : fault_spec;
+  obs : Nab_obs.ctx;
+  keep_events : bool;
+  nv : int;
+  verts : int array; (* ascending vertex ids *)
+  vidx : (int, int) Hashtbl.t; (* vertex id -> dense index *)
+  (* Edges in (src, dst) lexicographic order, as Digraph.edges reports
+     them — the order of every sorted accessor. *)
+  ne : int;
+  e_src_id : int array;
+  e_dst_id : int array;
+  e_capf : float array;
+  etbl : (int, int) Hashtbl.t; (* (si * nv + di) -> edge index *)
+  crash_t : float option array; (* per dense index *)
+  cuts : (int, partition list) Hashtbl.t; (* edge index -> windows *)
+  rng : Random.State.t;
+  mutable now : float;
+  mutable round_no : int;
+  mutable seq : int;
+  mutable queue : (int * int * Packet.t) Pq.t; (* in flight *)
+  mutable n_pending : int;
+  mutable msg_no : int;
+  mutable evs : Transport.event list; (* reversed *)
+  mutable dropped : int; (* non-existent links, as in Sim *)
+  mutable fault_drops : int; (* destroyed by injected faults *)
+  link_total : int array;
+  phases : (string, phase_acc) Hashtbl.t;
+  mutable phase_order : string list; (* reversed *)
+  (* per-round scratch *)
+  round_bits : int array;
+  touched : int array;
+  mutable n_touched : int;
+}
+
+let vertex_index t v =
+  match Hashtbl.find_opt t.vidx v with Some i -> i | None -> -1
+
+let create ?(obs = Nab_obs.null) ?(keep_events = false) ?(spec = no_faults) g =
+  let verts = Array.of_list (Digraph.vertices g) in
+  let nv = Array.length verts in
+  let vidx = Hashtbl.create (max 16 nv) in
+  Array.iteri (fun i v -> Hashtbl.replace vidx v i) verts;
+  let edges = Array.of_list (Digraph.edges g) in
+  let ne = Array.length edges in
+  let e_src_id = Array.make ne 0 in
+  let e_dst_id = Array.make ne 0 in
+  let e_capf = Array.make ne 0.0 in
+  let etbl = Hashtbl.create (max 16 ne) in
+  Array.iteri
+    (fun e (src, dst, cap) ->
+      e_src_id.(e) <- src;
+      e_dst_id.(e) <- dst;
+      e_capf.(e) <- float_of_int cap;
+      Hashtbl.replace etbl
+        ((Hashtbl.find vidx src * nv) + Hashtbl.find vidx dst)
+        e)
+    edges;
+  let crash_t = Array.make (max 1 nv) None in
+  List.iter
+    (fun (v, time) ->
+      match Hashtbl.find_opt vidx v with
+      | Some i ->
+          crash_t.(i) <-
+            (match crash_t.(i) with
+            | Some prev -> Some (Float.min prev time)
+            | None -> Some time)
+      | None -> ())
+    spec.crash;
+  let cuts = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (src, dst) ->
+          match (Hashtbl.find_opt vidx src, Hashtbl.find_opt vidx dst) with
+          | Some si, Some di -> (
+              match Hashtbl.find_opt etbl ((si * nv) + di) with
+              | Some e ->
+                  Hashtbl.replace cuts e
+                    (p
+                    :: (match Hashtbl.find_opt cuts e with
+                       | Some l -> l
+                       | None -> []))
+              | None -> ())
+          | _ -> ())
+        p.cut)
+    spec.partitions;
+  {
+    g;
+    spec;
+    obs;
+    keep_events;
+    nv;
+    verts;
+    vidx;
+    ne;
+    e_src_id;
+    e_dst_id;
+    e_capf;
+    etbl;
+    crash_t;
+    cuts;
+    rng = Random.State.make [| spec.seed; 0x45a9; 0xeb17 |];
+    now = 0.0;
+    round_no = 0;
+    seq = 0;
+    queue = Pq.empty;
+    n_pending = 0;
+    msg_no = 0;
+    evs = [];
+    dropped = 0;
+    fault_drops = 0;
+    link_total = Array.make ne 0;
+    phases = Hashtbl.create 8;
+    phase_order = [];
+    round_bits = Array.make ne 0;
+    touched = Array.make ne 0;
+    n_touched = 0;
+  }
+
+let phase_acc t name =
+  match Hashtbl.find_opt t.phases name with
+  | Some acc -> acc
+  | None ->
+      let acc =
+        { p_rounds = 0; p_wall = 0.0; p_bottleneck = 0.0; p_bits = 0; p_extra = 0.0 }
+      in
+      Hashtbl.add t.phases name acc;
+      t.phase_order <- name :: t.phase_order;
+      acc
+
+let elapsed_phases t =
+  Hashtbl.fold (fun _ a acc -> acc +. a.p_wall +. a.p_extra) t.phases 0.0
+
+let crashed_at t di time =
+  match t.crash_t.(di) with Some c -> time >= c | None -> false
+
+let partitioned t e time =
+  match Hashtbl.find_opt t.cuts e with
+  | None -> false
+  | Some windows ->
+      List.exists (fun p -> time >= p.from_t && time < p.until_t) windows
+
+(* Per-message fault delay on top of the round's transmission time. Draws
+   happen in a fixed order (latency, jitter, reorder), each gated only on
+   the spec — so the random stream, and therefore the whole run, is a pure
+   function of (spec, traffic). Returns (fixed_delay, bump_by_round). *)
+let sample_delay t =
+  let s = t.spec in
+  let lat =
+    match s.latency with
+    | Zero -> 0.0
+    | Const x -> x
+    | Uniform (lo, hi) -> lo +. (Random.State.float t.rng 1.0 *. (hi -. lo))
+    | Exp mean -> -.mean *. log (1.0 -. Random.State.float t.rng 1.0)
+  in
+  let jit =
+    if s.jitter > 0.0 then Random.State.float t.rng 1.0 *. s.jitter else 0.0
+  in
+  let bump, bump_round =
+    if s.reorder > 0.0 && Random.State.float t.rng 1.0 < s.reorder then
+      if s.reorder_delay > 0.0 then (s.reorder_delay, false) else (0.0, true)
+    else (0.0, false)
+  in
+  (lat +. jit +. bump, bump_round)
+
+let record_delivery t ~phase src dst msg =
+  if t.keep_events then
+    t.evs <-
+      { Transport.round_no = t.round_no; ev_phase = phase; src; dst; msg }
+      :: t.evs;
+  t.msg_no <- t.msg_no + 1;
+  let sample = Nab_obs.sample_messages t.obs in
+  if sample > 0 && t.msg_no mod sample = 0 then
+    Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+      ~attrs:
+        [
+          ("phase", Nab_obs.S phase);
+          ("round", Nab_obs.I t.round_no);
+          ("src", Nab_obs.I src);
+          ("dst", Nab_obs.I dst);
+          ("bits", Nab_obs.I (Packet.bits msg));
+        ]
+      "msg"
+
+let round t ~phase outbox =
+  let acc = phase_acc t phase in
+  t.round_no <- t.round_no + 1;
+  let round_no = t.round_no in
+  (* Collect this round's accepted sends; arrivals are stamped once the
+     round's transmission time is known. *)
+  let sends = ref [] in
+  for ui = 0 to t.nv - 1 do
+    let v = t.verts.(ui) in
+    List.iter
+      (fun (dst, msg) ->
+        if crashed_at t ui t.now then t.fault_drops <- t.fault_drops + 1
+        else begin
+          let di = vertex_index t dst in
+          let e =
+            if di < 0 then -1
+            else
+              match Hashtbl.find_opt t.etbl ((ui * t.nv) + di) with
+              | Some e -> e
+              | None -> -1
+          in
+          if e < 0 then begin
+            t.dropped <- t.dropped + 1;
+            Nab_obs.add t.obs "sim.dropped" 1
+          end
+          else if partitioned t e t.now then
+            t.fault_drops <- t.fault_drops + 1
+          else begin
+            let b = Packet.bits msg in
+            if b <= 0 then
+              invalid_arg "Async_sim.round: message with non-positive bit size";
+            if t.round_bits.(e) = 0 then begin
+              t.touched.(t.n_touched) <- e;
+              t.n_touched <- t.n_touched + 1
+            end;
+            t.round_bits.(e) <- t.round_bits.(e) + b;
+            t.link_total.(e) <- t.link_total.(e) + b;
+            let extra, bump_round = sample_delay t in
+            sends := (v, dst, msg, extra, bump_round) :: !sends
+          end
+        end)
+      (outbox v)
+  done;
+  (* Transmission time: slowest touched link, as in the synchronous model. *)
+  let duration = ref 0.0 in
+  let bits_this_round = ref 0 in
+  for i = 0 to t.n_touched - 1 do
+    let e = t.touched.(i) in
+    let b = t.round_bits.(e) in
+    bits_this_round := !bits_this_round + b;
+    duration := Float.max !duration (float_of_int b /. t.e_capf.(e))
+  done;
+  let duration = !duration and bits_this_round = !bits_this_round in
+  let round_end = t.now +. duration in
+  (* Enqueue arrivals (sends were consed: re-reverse to send order so the
+     tie-breaking sequence numbers follow it). *)
+  List.iter
+    (fun (src, dst, msg, extra, bump_round) ->
+      let extra = if bump_round then extra +. duration else extra in
+      let arrival = round_end +. extra in
+      t.queue <- Pq.add (arrival, t.seq) (src, dst, msg) t.queue;
+      t.seq <- t.seq + 1;
+      t.n_pending <- t.n_pending + 1)
+    (List.rev !sends);
+  (* Advance the clock. A traffic-free round with messages still in flight
+     jumps to the earliest pending arrival — that is what lets [drain]
+     terminate — and charges the idle wait to this phase. *)
+  let advance =
+    if duration = 0.0 && t.n_pending > 0 then
+      match Pq.min_binding_opt t.queue with
+      | Some ((at, _), _) -> Float.max 0.0 (at -. t.now)
+      | None -> 0.0
+    else duration
+  in
+  t.now <- t.now +. advance;
+  acc.p_rounds <- acc.p_rounds + 1;
+  acc.p_wall <- acc.p_wall +. advance;
+  acc.p_bottleneck <- Float.max acc.p_bottleneck advance;
+  acc.p_bits <- acc.p_bits + bits_this_round;
+  if Nab_obs.enabled t.obs then begin
+    Nab_obs.point t.obs ~scope:"sim" ~t:(elapsed_phases t)
+      ~attrs:
+        [
+          ("phase", Nab_obs.S phase);
+          ("round", Nab_obs.I round_no);
+          ("bits", Nab_obs.I bits_this_round);
+          ("duration", Nab_obs.F advance);
+        ]
+      "round";
+    Nab_obs.add t.obs "sim.rounds" 1;
+    Nab_obs.add t.obs "sim.bits" bits_this_round
+  end;
+  (* Deliver everything that has arrived by now, in (arrival, seq) order;
+     inboxes are consed then stable-sorted by sender — the synchronous
+     fabric's construction, so at zero faults the inboxes are identical. *)
+  let acc_inbox = Array.make t.nv [] in
+  let delivered_to = ref [] in
+  let rec pump () =
+    match Pq.min_binding_opt t.queue with
+    | Some (((at, _) as key), (src, dst, msg)) when at <= t.now ->
+        t.queue <- Pq.remove key t.queue;
+        t.n_pending <- t.n_pending - 1;
+        let di = vertex_index t dst in
+        if crashed_at t di at then t.fault_drops <- t.fault_drops + 1
+        else begin
+          if acc_inbox.(di) = [] then delivered_to := di :: !delivered_to;
+          acc_inbox.(di) <- (src, msg) :: acc_inbox.(di);
+          record_delivery t ~phase src dst msg
+        end;
+        pump ()
+    | _ -> ()
+  in
+  pump ();
+  let res = Array.make t.nv [] in
+  List.iter
+    (fun di ->
+      res.(di) <-
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) acc_inbox.(di))
+    !delivered_to;
+  for i = 0 to t.n_touched - 1 do
+    t.round_bits.(t.touched.(i)) <- 0
+  done;
+  t.n_touched <- 0;
+  fun v ->
+    let di = vertex_index t v in
+    if di < 0 then [] else res.(di)
+
+let pending_count t = t.n_pending
+
+let drain t ~phase =
+  let merged : (int, (int * Packet.t) list) Hashtbl.t = Hashtbl.create 16 in
+  while pending_count t > 0 do
+    let inbox = round t ~phase (fun _ -> []) in
+    List.iter
+      (fun v ->
+        match inbox v with
+        | [] -> ()
+        | arrivals ->
+            Hashtbl.replace merged v
+              ((try Hashtbl.find merged v with Not_found -> []) @ arrivals))
+      (Digraph.vertices t.g)
+  done;
+  fun v -> try Hashtbl.find merged v with Not_found -> []
+
+let add_cost t ~phase c =
+  let acc = phase_acc t phase in
+  acc.p_extra <- acc.p_extra +. c
+
+let phase_stats t =
+  List.rev_map
+    (fun name ->
+      let a = Hashtbl.find t.phases name in
+      {
+        Transport.phase = name;
+        rounds = a.p_rounds;
+        wall = a.p_wall;
+        bottleneck = a.p_bottleneck;
+        bits_total = a.p_bits;
+        extra = a.p_extra;
+      })
+    t.phase_order
+
+let timing t =
+  let phases = phase_stats t in
+  let wall =
+    List.fold_left (fun acc (s : Transport.phase_stat) -> acc +. s.wall +. s.extra) 0.0 phases
+  in
+  let pipelined =
+    List.fold_left
+      (fun acc (s : Transport.phase_stat) -> acc +. s.bottleneck +. s.extra)
+      0.0 phases
+  in
+  { Transport.wall; pipelined; phases }
+
+let link_bits t =
+  let acc = ref [] in
+  for e = t.ne - 1 downto 0 do
+    let b = t.link_total.(e) in
+    if b > 0 then acc := ((t.e_src_id.(e), t.e_dst_id.(e)), b) :: !acc
+  done;
+  !acc
+
+let dropped t = t.dropped
+let fault_drops t = t.fault_drops
+let now t = t.now
+
+let utilization t =
+  let wall = (timing t).Transport.wall in
+  let acc = ref [] in
+  for e = t.ne - 1 downto 0 do
+    let b = t.link_total.(e) in
+    if b > 0 then begin
+      let u =
+        if wall <= 0.0 then 0.0 else float_of_int b /. (t.e_capf.(e) *. wall)
+      in
+      acc := ((t.e_src_id.(e), t.e_dst_id.(e)), u) :: !acc
+    end
+  done;
+  !acc
+
+let events_of_phase t phase =
+  List.filter (fun (e : Transport.event) -> e.ev_phase = phase) (List.rev t.evs)
+
+let keeps_events t = t.keep_events
+let rounds_run t = t.round_no
+
+module Async_transport = struct
+  type nonrec t = t
+
+  let graph t = t.g
+  let obs t = t.obs
+  let round = round
+  let pending_count = pending_count
+  let drain = drain
+  let add_cost = add_cost
+  let timing = timing
+  let link_bits = link_bits
+  let dropped = dropped
+  let utilization = utilization
+  let events_of_phase = events_of_phase
+  let keeps_events = keeps_events
+  let rounds_run = rounds_run
+end
+
+let transport (t : t) : Transport.t = Transport.pack (module Async_transport) t
+
+let factory ?(spec = no_faults) () : Transport.factory =
+ fun ~obs ~keep_events g -> transport (create ~obs ~keep_events ~spec g)
+
+(* ------------------------ spec parsing / labels ----------------------- *)
+
+let fg x =
+  (* %g, but canonical: no trailing ".", stable across printf variants *)
+  let s = Printf.sprintf "%g" x in
+  s
+
+let latency_to_string = function
+  | Zero -> "zero"
+  | Const x -> Printf.sprintf "const:%s" (fg x)
+  | Uniform (lo, hi) -> Printf.sprintf "uniform:%s:%s" (fg lo) (fg hi)
+  | Exp m -> Printf.sprintf "exp:%s" (fg m)
+
+let latency_of_string s =
+  let bad () = Error (Printf.sprintf "bad latency spec %S (want zero | const:T | uniform:LO:HI | exp:MEAN)" s) in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "zero" ] -> Ok Zero
+  | [ "const"; x ] -> (
+      match float_of_string_opt x with
+      | Some x when x >= 0.0 -> Ok (Const x)
+      | _ -> bad ())
+  | [ "uniform"; lo; hi ] -> (
+      match (float_of_string_opt lo, float_of_string_opt hi) with
+      | Some lo, Some hi when 0.0 <= lo && lo <= hi -> Ok (Uniform (lo, hi))
+      | _ -> bad ())
+  | [ "exp"; m ] -> (
+      match float_of_string_opt m with
+      | Some m when m > 0.0 -> Ok (Exp m)
+      | _ -> bad ())
+  | _ -> bad ()
+
+let crash_to_string crash =
+  String.concat ","
+    (List.map (fun (v, time) -> Printf.sprintf "%d@%s" v (fg time)) crash)
+
+let crash_of_string s =
+  let s = String.trim s in
+  if s = "" then Ok []
+  else
+    let items = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+          match String.split_on_char '@' (String.trim item) with
+          | [ v; time ] -> (
+              match (int_of_string_opt v, float_of_string_opt time) with
+              | Some v, Some time when time >= 0.0 -> go ((v, time) :: acc) rest
+              | _ -> Error (Printf.sprintf "bad crash item %S (want NODE@T)" item))
+          | _ -> Error (Printf.sprintf "bad crash item %S (want NODE@T)" item))
+    in
+    go [] items
+
+let spec_of_flags ~latency ~jitter ~reorder ~crash ~seed =
+  let ( let* ) = Result.bind in
+  let* latency = latency_of_string latency in
+  let* reorder, reorder_delay =
+    if String.trim reorder = "" then Ok (0.0, 0.0)
+    else
+      let prob s =
+        match float_of_string_opt s with
+        | Some p when 0.0 <= p && p <= 1.0 -> Ok p
+        | _ -> Error (Printf.sprintf "bad reorder probability %S (want 0..1)" s)
+      in
+      let delay s =
+        match float_of_string_opt s with
+        | Some d when d >= 0.0 -> Ok d
+        | _ -> Error (Printf.sprintf "bad reorder delay %S" s)
+      in
+      match String.split_on_char ':' (String.trim reorder) with
+      | [ p ] ->
+          let* p = prob p in
+          Ok (p, 0.0)
+      | [ p; d ] ->
+          let* p = prob p in
+          let* d = delay d in
+          Ok (p, d)
+      | _ -> Error (Printf.sprintf "bad reorder spec %S (want P or P:D)" reorder)
+  in
+  let* crash = crash_of_string crash in
+  if jitter < 0.0 then Error "jitter must be >= 0"
+  else Ok { latency; jitter; reorder; reorder_delay; crash; partitions = []; seed }
+
+let spec_label spec =
+  let parts = ref [] in
+  let add p = parts := p :: !parts in
+  if spec.seed <> 0 then add (Printf.sprintf "s%d" spec.seed);
+  (match spec.partitions with
+  | [] -> ()
+  | ps ->
+      add
+        (Printf.sprintf "p%s"
+           (String.concat ";"
+              (List.map
+                 (fun p ->
+                   Printf.sprintf "%s@%s-%s"
+                     (String.concat "."
+                        (List.map (fun (a, b) -> Printf.sprintf "%d>%d" a b) p.cut))
+                     (fg p.from_t) (fg p.until_t))
+                 ps))));
+  (match spec.crash with
+  | [] -> ()
+  | c -> add (Printf.sprintf "c%s" (String.concat ";" (List.map (fun (v, time) -> Printf.sprintf "%d@%s" v (fg time)) c))));
+  if spec.reorder > 0.0 then
+    add
+      (if spec.reorder_delay > 0.0 then
+         Printf.sprintf "r%s@%s" (fg spec.reorder) (fg spec.reorder_delay)
+       else Printf.sprintf "r%s" (fg spec.reorder));
+  if spec.jitter > 0.0 then add (Printf.sprintf "j%s" (fg spec.jitter));
+  (match spec.latency with Zero -> () | l -> add (latency_to_string l));
+  match !parts with [] -> "zero" | ps -> String.concat "+" ps

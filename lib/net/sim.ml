@@ -10,7 +10,7 @@ type phase_acc = {
   mutable p_extra : float;
 }
 
-type phase_stat = {
+type phase_stat = Transport.phase_stat = {
   phase : string;
   rounds : int;
   wall : float;
@@ -412,7 +412,11 @@ let elapsed t =
 let pipelined_elapsed t =
   List.fold_left (fun acc s -> acc +. s.bottleneck +. s.extra) 0.0 (phase_stats t)
 
-type timing = { wall : float; pipelined : float; phases : phase_stat list }
+type timing = Transport.timing = {
+  wall : float;
+  pipelined : float;
+  phases : phase_stat list;
+}
 
 let timing t =
   { wall = elapsed t; pipelined = pipelined_elapsed t; phases = phase_stats t }
@@ -450,3 +454,48 @@ let utilization t =
 let events t = List.rev t.evs
 let events_of_phase t phase = List.filter (fun e -> e.ev_phase = phase) (events t)
 let rounds_run t = t.round_no
+
+(* ------------------------- TRANSPORT packing --------------------------
+
+   The reference backend: a Packet.t-carrying simulator packed behind the
+   backend-neutral boundary. Every operation is the simulator's own; only
+   the event record is converted (Sim's trace is polymorphic in the
+   message type, Transport's is Packet.t-concrete). *)
+
+module Packet_transport = struct
+  type nonrec t = Packet.t t
+
+  let graph = graph
+  let obs = obs
+  let round = round
+  let pending_count = pending_count
+  let drain = drain
+  let add_cost = add_cost
+  let timing = timing
+  let link_bits = link_bits
+  let dropped = dropped
+  let utilization = utilization
+
+  let events_of_phase t phase =
+    List.map
+      (fun (e : Packet.t event) ->
+        {
+          Transport.round_no = e.round_no;
+          ev_phase = e.ev_phase;
+          src = e.src;
+          dst = e.dst;
+          msg = e.msg;
+        })
+      (events_of_phase t phase)
+
+  let keeps_events = keeps_events
+  let rounds_run = rounds_run
+end
+
+let transport (t : Packet.t t) : Transport.t =
+  Transport.pack (module Packet_transport) t
+
+let factory ?delays () : Transport.factory =
+ fun ~obs ~keep_events g ->
+  transport (create ?delays ~obs ~keep_events g ~bits:Packet.bits)
+

@@ -83,7 +83,7 @@ val drain : 'm t -> phase:string -> int -> (int * 'm) list
     inboxes in delivery order, each sorted by sender as {!round} returns
     them. No-op returning empty inboxes when nothing is pending. *)
 
-type phase_stat = {
+type phase_stat = Transport.phase_stat = {
   phase : string;
   rounds : int;
   wall : float; (** sum of round durations *)
@@ -91,8 +91,11 @@ type phase_stat = {
   bits_total : int;
   extra : float; (** analytic cost added via {!add_cost} *)
 }
+(** Equal to {!Transport.phase_stat} — [Sim.phase_stat] and the
+    backend-neutral record are the same type, so timing consumers work
+    unchanged against either. *)
 
-type timing = {
+type timing = Transport.timing = {
   wall : float;
       (** total wall time: sum over rounds of the round duration, plus all
           analytic {!add_cost} costs *)
@@ -101,25 +104,12 @@ type timing = {
           per-instance cost under Figure-3 pipelining *)
   phases : phase_stat list;  (** per-phase breakdown, in first-use order *)
 }
+(** Equal to {!Transport.timing}. *)
 
 val timing : 'm t -> timing
 (** The one timing accessor: wall clock, pipelined clock and the per-phase
     breakdown (including each phase's analytic [extra]) in a single
     consistent snapshot. *)
-
-val elapsed : 'm t -> float
-  [@@deprecated "use Sim.timing: (timing sim).wall"]
-(** Total wall time: sum over rounds of the round duration, plus all
-    analytic costs. *)
-
-val pipelined_elapsed : 'm t -> float
-  [@@deprecated "use Sim.timing: (timing sim).pipelined"]
-(** Sum over phases of (bottleneck + extra): the steady-state per-instance
-    cost under Figure-3 pipelining. *)
-
-val phase_stats : 'm t -> phase_stat list
-  [@@deprecated "use Sim.timing: (timing sim).phases"]
-(** In first-use order. *)
 
 val add_cost : 'm t -> phase:string -> float -> unit
 (** Account analytically-modelled time (e.g. a sub-protocol simulated at a
@@ -159,3 +149,16 @@ val keeps_events : 'm t -> bool
 (** Whether this simulator retains its delivery trace ([keep_events]). *)
 
 val rounds_run : 'm t -> int
+
+val transport : Packet.t t -> Transport.t
+(** Pack a {!Packet.t}-carrying simulator as a backend-neutral
+    {!Transport.t}. The packed value shares state with the simulator:
+    protocols drive it through {!Transport.round} while the caller keeps
+    the concrete handle for anything simulator-specific. *)
+
+val factory :
+  ?delays:(int * int -> int) -> unit -> Transport.factory
+(** The synchronous reference {!Transport.factory}: each call creates a
+    fresh {!create}d simulator over the given graph with
+    [~bits:Packet.bits] and packs it. This is the default backend of
+    [Nab.run] and [Pipelined.run]. *)

@@ -1,0 +1,58 @@
+type phase_stat = {
+  phase : string;
+  rounds : int;
+  wall : float;
+  bottleneck : float;
+  bits_total : int;
+  extra : float;
+}
+
+type timing = { wall : float; pipelined : float; phases : phase_stat list }
+
+type event = {
+  round_no : int;
+  ev_phase : string;
+  src : int;
+  dst : int;
+  msg : Packet.t;
+}
+
+module type TRANSPORT = sig
+  type t
+
+  val graph : t -> Nab_graph.Digraph.t
+  val obs : t -> Nab_obs.ctx
+
+  val round :
+    t -> phase:string -> (int -> (int * Packet.t) list) -> int -> (int * Packet.t) list
+
+  val pending_count : t -> int
+  val drain : t -> phase:string -> int -> (int * Packet.t) list
+  val add_cost : t -> phase:string -> float -> unit
+  val timing : t -> timing
+  val link_bits : t -> ((int * int) * int) list
+  val dropped : t -> int
+  val utilization : t -> ((int * int) * float) list
+  val events_of_phase : t -> string -> event list
+  val keeps_events : t -> bool
+  val rounds_run : t -> int
+end
+
+type t = T : (module TRANSPORT with type t = 'a) * 'a -> t
+
+let pack (type a) (m : (module TRANSPORT with type t = a)) (h : a) = T (m, h)
+let graph (T ((module M), h)) = M.graph h
+let obs (T ((module M), h)) = M.obs h
+let round (T ((module M), h)) = M.round h
+let pending_count (T ((module M), h)) = M.pending_count h
+let drain (T ((module M), h)) = M.drain h
+let add_cost (T ((module M), h)) = M.add_cost h
+let timing (T ((module M), h)) = M.timing h
+let link_bits (T ((module M), h)) = M.link_bits h
+let dropped (T ((module M), h)) = M.dropped h
+let utilization (T ((module M), h)) = M.utilization h
+let events_of_phase (T ((module M), h)) = M.events_of_phase h
+let keeps_events (T ((module M), h)) = M.keeps_events h
+let rounds_run (T ((module M), h)) = M.rounds_run h
+
+type factory = obs:Nab_obs.ctx -> keep_events:bool -> Nab_graph.Digraph.t -> t

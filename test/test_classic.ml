@@ -57,7 +57,7 @@ let test_reliable_honest () =
   let sim = new_sim sparse5 in
   let routing = Routing.build sparse5 ~f:1 in
   let delivery =
-    Reliable.exchange ~sim ~phase:"t" ~routing ~proto:"t" ~faulty:Vset.empty
+    Reliable.exchange ~net:(Sim.transport sim) ~phase:"t" ~routing ~proto:"t" ~faulty:Vset.empty
       ~hooks:Reliable.honest_hooks ~default:Wire.Nothing
       ~sends:[ (1, 3, Wire.Flag true); (2, 5, Wire.Flag false) ]
   in
@@ -79,7 +79,7 @@ let test_reliable_majority_beats_corruption () =
     }
   in
   let delivery =
-    Reliable.exchange ~sim ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 2)
+    Reliable.exchange ~net:(Sim.transport sim) ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 2)
       ~hooks ~default:Wire.Nothing ~sends:[ (1, 3, Wire.Flag true) ]
   in
   Alcotest.(check bool) "majority wins" true
@@ -90,7 +90,7 @@ let test_reliable_dropping_relay () =
   let routing = Routing.build sparse5 ~f:1 in
   let hooks = { Reliable.honest_hooks with forward = (fun ~me:_ _ -> None) } in
   let delivery =
-    Reliable.exchange ~sim ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 2)
+    Reliable.exchange ~net:(Sim.transport sim) ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 2)
       ~hooks ~default:Wire.Nothing ~sends:[ (1, 3, Wire.Flag true) ]
   in
   Alcotest.(check bool) "drop is survivable" true
@@ -112,7 +112,7 @@ let test_reliable_equivocating_source () =
     }
   in
   let delivery =
-    Reliable.exchange ~sim ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 1)
+    Reliable.exchange ~net:(Sim.transport sim) ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 1)
       ~hooks ~default:Wire.Nothing ~sends:[ (1, 3, Wire.Flag true) ]
   in
   (* All three copies differ: tie -> default. *)
@@ -131,7 +131,7 @@ let test_reliable_injection_filtered () =
     { Reliable.honest_hooks with inject = (fun ~me:_ ~subround:_ -> [ forged ]) }
   in
   let delivery =
-    Reliable.exchange ~sim ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 2)
+    Reliable.exchange ~net:(Sim.transport sim) ~phase:"t" ~routing ~proto:"t" ~faulty:(Vset.singleton 2)
       ~hooks ~default:Wire.Nothing ~sends:[ (1, 3, Wire.Flag true) ]
   in
   Alcotest.(check bool) "forgery rejected or out-voted" true
@@ -144,7 +144,7 @@ let test_reliable_duplicate_send_rejected () =
     (Invalid_argument "Reliable.exchange: duplicate send for a pair (use Wire.Batch)")
     (fun () ->
       ignore
-        (Reliable.exchange ~sim ~phase:"t" ~routing ~proto:"t" ~faulty:Vset.empty
+        (Reliable.exchange ~net:(Sim.transport sim) ~phase:"t" ~routing ~proto:"t" ~faulty:Vset.empty
            ~hooks:Reliable.honest_hooks ~default:Wire.Nothing
            ~sends:[ (1, 3, Wire.Flag true); (1, 3, Wire.Flag false) ]))
 
@@ -177,7 +177,7 @@ let test_reliable_fuzz =
            }
          in
          let delivery =
-           Reliable.exchange ~sim ~phase:"t" ~routing ~proto:"t"
+           Reliable.exchange ~net:(Sim.transport sim) ~phase:"t" ~routing ~proto:"t"
              ~faulty:(Vset.singleton bad) ~hooks ~default:Wire.Nothing
              ~sends:[ (1, 3, Wire.Flag true) ]
          in
@@ -192,7 +192,7 @@ let check_bb_guarantees ~name ~graph ~f ~source ~value ~faulty ?adversary
   let sim = new_sim graph in
   let routing = Routing.build graph ~f in
   let decisions =
-    Eig.broadcast ~sim ~phase:"bb" ~routing ~f ~source ~value ~default:Wire.Nothing
+    Eig.broadcast ~net:(Sim.transport sim) ~phase:"bb" ~routing ~f ~source ~value ~default:Wire.Nothing
       ~faulty ?adversary ?reliable_hooks ()
   in
   let honest = List.filter (fun (v, _) -> not (Vset.mem v faulty)) decisions in
@@ -266,7 +266,7 @@ let test_eig_multi_source () =
     List.map (fun (l, _) -> (l, Wire.Flag true)) pairs
   in
   let decisions =
-    Eig.broadcast_all ~sim ~phase:"bb" ~routing ~f:1 ~inputs ~default:Wire.Nothing
+    Eig.broadcast_all ~net:(Sim.transport sim) ~phase:"bb" ~routing ~f:1 ~inputs ~default:Wire.Nothing
       ~faulty:(Vset.singleton 4) ~adversary ()
   in
   (* For each honest source, every honest node must decide its input. *)
@@ -296,7 +296,7 @@ let test_eig_requires_n_gt_3f () =
   Alcotest.check_raises "n > 3f" (Invalid_argument "Eig.broadcast_all: requires n > 3f")
     (fun () ->
       ignore
-        (Eig.broadcast ~sim ~phase:"bb" ~routing ~f:2 ~source:1 ~value:Wire.Nothing
+        (Eig.broadcast ~net:(Sim.transport sim) ~phase:"bb" ~routing ~f:2 ~source:1 ~value:Wire.Nothing
            ~default:Wire.Nothing ~faulty:Vset.empty ()))
 
 let test_eig_cost_grows_with_f () =
@@ -304,13 +304,13 @@ let test_eig_cost_grows_with_f () =
   let sim1 = new_sim k7 in
   let routing = Routing.build k7 ~f:1 in
   ignore
-    (Eig.broadcast ~sim:sim1 ~phase:"bb" ~routing ~f:1 ~source:1 ~value:(Wire.Flag true)
+    (Eig.broadcast ~net:(Sim.transport sim1) ~phase:"bb" ~routing ~f:1 ~source:1 ~value:(Wire.Flag true)
        ~default:Wire.Nothing ~faulty:Vset.empty ());
   Alcotest.(check int) "f=1: 2 rounds" 2 (Sim.rounds_run sim1);
   let sim2 = new_sim k7 in
   let routing2 = Routing.build k7 ~f:2 in
   ignore
-    (Eig.broadcast ~sim:sim2 ~phase:"bb" ~routing:routing2 ~f:2 ~source:1
+    (Eig.broadcast ~net:(Sim.transport sim2) ~phase:"bb" ~routing:routing2 ~f:2 ~source:1
        ~value:(Wire.Flag true) ~default:Wire.Nothing ~faulty:Vset.empty ());
   Alcotest.(check int) "f=2: 3 rounds" 3 (Sim.rounds_run sim2)
 
@@ -320,7 +320,7 @@ let check_pk_guarantees ~name ~graph ~f ~source ~value ~faulty ?adversary () =
   let sim = new_sim graph in
   let routing = Routing.build graph ~f in
   let decisions =
-    Phase_king.broadcast ~sim ~phase:"pk" ~routing ~f ~source ~value
+    Phase_king.broadcast ~net:(Sim.transport sim) ~phase:"pk" ~routing ~f ~source ~value
       ~default:Wire.Nothing ~faulty ?adversary ()
   in
   let honest = List.filter (fun (v, _) -> not (Vset.mem v faulty)) decisions in
@@ -377,7 +377,7 @@ let test_pk_multi_source_batch () =
     List.map (fun (s, _) -> (s, Wire.Flag true)) pairs
   in
   let decisions =
-    Phase_king.broadcast_all ~sim ~phase:"pk" ~routing ~f:1 ~inputs
+    Phase_king.broadcast_all ~net:(Sim.transport sim) ~phase:"pk" ~routing ~f:1 ~inputs
       ~default:Wire.Nothing ~faulty:(Vset.singleton 5) ~adversary ()
   in
   List.iter
@@ -405,7 +405,7 @@ let test_pk_requires_n_gt_4f () =
   Alcotest.check_raises "n > 4f"
     (Invalid_argument "Phase_king.broadcast_all: requires n > 4f") (fun () ->
       ignore
-        (Phase_king.broadcast ~sim ~phase:"pk" ~routing ~f:1 ~source:1
+        (Phase_king.broadcast ~net:(Sim.transport sim) ~phase:"pk" ~routing ~f:1 ~source:1
            ~value:Wire.Nothing ~default:Wire.Nothing ~faulty:Vset.empty ()))
 
 (* ---------- Oblivious baseline ---------- *)
@@ -415,7 +415,7 @@ let test_oblivious_delivers () =
   let routing = Routing.build k4 ~f:1 in
   let data = [| 0xde; 0xad; 0xbe; 0xef |] in
   let decisions =
-    Oblivious.broadcast ~sim ~routing ~f:1 ~source:1 ~value_bits:32 ~data
+    Oblivious.broadcast ~net:(Sim.transport sim) ~routing ~f:1 ~source:1 ~value_bits:32 ~data
       ~faulty:Vset.empty ()
   in
   List.iter

@@ -488,7 +488,7 @@ let test_ec_no_mismatch_when_equal () =
   let sim = Sim.create k4 ~bits:Packet.bits in
   let x = Array.init rho4 (fun i -> i + 1) in
   let flags =
-    Equality_check.run ~sim ~phase:"ec" ~coding:c ~values:(fun _ -> x)
+    Equality_check.run ~net:(Sim.transport sim) ~phase:"ec" ~coding:c ~values:(fun _ -> x)
       ~faulty:Vset.empty ()
   in
   List.iter (fun (v, f) -> Alcotest.(check bool) (Printf.sprintf "node %d" v) false f) flags;
@@ -506,7 +506,7 @@ let test_ec_detects_differing_values () =
       let odd = 1 + Random.State.int st 3 in
       let sim = Sim.create k4 ~bits:Packet.bits in
       let flags =
-        Equality_check.run ~sim ~phase:"ec" ~coding:c
+        Equality_check.run ~net:(Sim.transport sim) ~phase:"ec" ~coding:c
           ~values:(fun v -> if v = odd then other else base)
           ~faulty:Vset.empty ()
       in
@@ -532,7 +532,7 @@ let test_ec_duration_exact =
       let x = Array.init (stripes * rho) (fun _ -> Random.State.int st 256) in
       let sim = Sim.create g ~bits:Packet.bits in
       let (_ : (int * bool) list) =
-        Equality_check.run ~sim ~phase:"ec" ~coding:c ~values:(fun _ -> x)
+        Equality_check.run ~net:(Sim.transport sim) ~phase:"ec" ~coding:c ~values:(fun _ -> x)
           ~faulty:Vset.empty ()
       in
       let l = stripes * rho * m in
@@ -551,7 +551,7 @@ let test_phase1_hop_bound =
       let value = Bitvec.random l (Random.State.make [| gseed |]) in
       let sim = Sim.create g ~bits:Packet.bits in
       let (_ : int -> Wire.payload option array) =
-        Phase1.run ~sim ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+        Phase1.run ~net:(Sim.transport sim) ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
       in
       (Sim.timing sim).Sim.pipelined <= (float_of_int l /. float_of_int gamma) +. 1e-9)
 
@@ -565,7 +565,7 @@ let test_ec_faulty_cannot_frame_consistency () =
     if dst = 2 then Array.map (fun s -> s lxor 1) y else y
   in
   let flags =
-    Equality_check.run ~sim ~phase:"ec" ~coding:c ~values:(fun _ -> x)
+    Equality_check.run ~net:(Sim.transport sim) ~phase:"ec" ~coding:c ~values:(fun _ -> x)
       ~faulty:(Vset.singleton 4) ~adversary ()
   in
   Alcotest.(check bool) "victim 2 flags" true (List.assoc 2 flags);

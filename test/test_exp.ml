@@ -30,6 +30,31 @@ let test_scenario_roundtrip () =
             edges = [ (1, 2, 3); (2, 1, 3); (1, 3, 1); (3, 1, 1); (2, 4, 2); (4, 2, 2) ];
           })
        ());
+  (* async backends: the fault spec must survive the codec, and the id must
+     carry the spec label *)
+  let spec =
+    {
+      Nab_net.Async_sim.latency = Nab_net.Async_sim.Uniform (0.5, 2.0);
+      jitter = 0.25;
+      reorder = 0.1;
+      reorder_delay = 0.0;
+      crash = [ (3, 120.0) ];
+      partitions =
+        [ { Nab_net.Async_sim.cut = [ (1, 2); (2, 1) ]; from_t = 10.0; until_t = 50.0 } ];
+      seed = 42;
+    }
+  in
+  let async_s =
+    Scenario.make ~backend:(Scenario.Async spec) (Complete { n = 4; cap = 2 }) ()
+  in
+  roundtrip async_s;
+  let sync_s = Scenario.make (Complete { n = 4; cap = 2 }) () in
+  Alcotest.(check bool) "async id extends the sync id" true
+    (String.length async_s.Scenario.id > String.length sync_s.Scenario.id
+    && String.sub async_s.Scenario.id 0 (String.length sync_s.Scenario.id)
+       = sync_s.Scenario.id);
+  Alcotest.(check bool) "with_backend rederives the id" true
+    (Scenario.with_backend (Scenario.Async spec) sync_s = async_s);
   List.iter roundtrip (Campaigns.quick ());
   (* corrupt JSON is rejected with a field name, not an exception *)
   match Scenario.of_string "{\"id\":\"x\"}" with
@@ -189,6 +214,69 @@ let test_campaign_cold_vs_warm () =
   let warm4 = jsonl (Runner.run_campaign ~jobs:4 scenarios) in
   Alcotest.(check string) "warm jobs=4 rows byte-identical" cold warm4
 
+let test_plan_cache_topology_churn () =
+  (* Content-keyed invalidation under topology churn: the caches key on
+     Digraph.fingerprint, so an edge or capacity change computes a fresh
+     entry, while a revert to a structurally-equal graph — even one built
+     through a different history — serves the old one. *)
+  let cache : int Nab_util.Plan_cache.t =
+    Nab_util.Plan_cache.create ~name:"test.churn" ()
+  in
+  let computes = ref 0 in
+  let plan_for g =
+    Nab_util.Plan_cache.find_or_compute cache ~key:(Digraph.fingerprint g)
+      (fun () ->
+        incr computes;
+        !computes)
+  in
+  let g0 = Gen.ring ~n:6 ~cap:2 in
+  let p0 = plan_for g0 in
+  Alcotest.(check int) "cold graph computes" 1 !computes;
+  Alcotest.(check int) "rebuilt equal graph hits" p0 (plan_for (Gen.ring ~n:6 ~cap:2));
+  Alcotest.(check int) "no recompute on equal graph" 1 !computes;
+  let g1 = Digraph.add_edge g0 ~src:1 ~dst:4 ~cap:1 in
+  let p1 = plan_for g1 in
+  Alcotest.(check bool) "edge churn invalidates" true (p1 <> p0);
+  Alcotest.(check int) "edge churn recomputed" 2 !computes;
+  let p2 = plan_for (Gen.ring ~n:6 ~cap:3) in
+  Alcotest.(check bool) "capacity churn invalidates" true (p2 <> p0 && p2 <> p1);
+  Alcotest.(check int) "capacity churn recomputed" 3 !computes;
+  (* reverting the churn restores the original fingerprint: both earlier
+     entries are still live and hit without recomputing *)
+  Alcotest.(check int) "revert hits the original entry" p0
+    (plan_for (Digraph.remove_edge g1 1 4));
+  Alcotest.(check int) "churned entry also still hits" p1
+    (plan_for (Digraph.add_edge (Gen.ring ~n:6 ~cap:2) ~src:1 ~dst:4 ~cap:1));
+  Alcotest.(check int) "no recompute after reverts" 3 !computes;
+  (* single-flight survives churn: many domains racing on the fingerprint
+     of a graph nobody has planned yet build it exactly once *)
+  let fresh = Digraph.add_edge g0 ~src:2 ~dst:5 ~cap:1 in
+  let key = Digraph.fingerprint fresh in
+  let builds = Atomic.make 0 in
+  let build () =
+    Atomic.incr builds;
+    let x = ref 0 in
+    for i = 0 to 2_000_000 do
+      x := !x + Sys.opaque_identity i
+    done;
+    ignore (Sys.opaque_identity !x);
+    999
+  in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Nab_util.Plan_cache.find_or_compute cache ~key build))
+  in
+  let results = List.map Domain.join domains in
+  Alcotest.(check (list int)) "racers agree on the churned plan" [ 999; 999; 999; 999 ]
+    results;
+  Alcotest.(check int) "churned key built once" 1 (Atomic.get builds);
+  (* the real Nab.plan cache behaves the same way: repeat planning of an
+     equal graph returns the identical shared plan object *)
+  let config = Nab.config ~f:1 ~l_bits:64 () in
+  let a = Nab.plan ~config ~total_n:6 ~disputes:[] (Gen.ring ~n:6 ~cap:2) in
+  let b = Nab.plan ~config ~total_n:6 ~disputes:[] (Gen.ring ~n:6 ~cap:2) in
+  Alcotest.(check bool) "Nab.plan shares the cached plan" true (a == b)
+
 let test_diff_detects_changes () =
   let s1 = Scenario.make (Scenario.Complete { n = 4; cap = 2 }) () in
   let s2 = Scenario.make ~adversary:"ec-liar" (Scenario.Complete { n = 4; cap = 2 }) () in
@@ -307,6 +395,7 @@ let () =
           Alcotest.test_case "single flight across domains" `Quick
             test_plan_cache_single_flight;
           Alcotest.test_case "campaign cold vs warm" `Quick test_campaign_cold_vs_warm;
+          Alcotest.test_case "topology churn" `Quick test_plan_cache_topology_churn;
         ] );
       ( "runner",
         [

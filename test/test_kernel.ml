@@ -537,7 +537,7 @@ let test_rlnc_regression () =
       let l = gamma * m * 16 in
       let value = Bitvec.random l (Random.State.make [| 7 |]) in
       let sim = Nab_net.Sim.create g ~bits:Nab_net.Packet.bits in
-      let r = Rlnc.broadcast ~sim ~phase:"rlnc" ~source:1 ~value ~gamma ~m ~seed () in
+      let r = Rlnc.broadcast ~net:(Nab_net.Sim.transport sim) ~phase:"rlnc" ~source:1 ~value ~gamma ~m ~seed () in
       Alcotest.(check int) (name ^ " rounds") rounds r.Rlnc.rounds;
       Alcotest.(check int) (name ^ " header bits") header r.Rlnc.header_bits;
       Alcotest.(check int) (name ^ " payload bits") payload r.Rlnc.payload_bits;

@@ -35,7 +35,7 @@ let test_phase1_fault_free () =
       let value = Bitvec.random l (Random.State.make [| 3 |]) in
       let sim = Sim.create g ~bits:Packet.bits in
       let received =
-        Phase1.run ~sim ~phase:"phase1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+        Phase1.run ~net:(Sim.transport sim) ~phase:"phase1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
       in
       let sizes = Phase1.slice_sizes ~value_bits:l ~trees:gamma in
       List.iter
@@ -73,7 +73,7 @@ let test_phase1_corruption_is_local () =
     else Some payload
   in
   let received =
-    Phase1.run ~sim ~phase:"phase1" ~trees ~source:1 ~value ~faulty:(Vset.singleton 3)
+    Phase1.run ~net:(Sim.transport sim) ~phase:"phase1" ~trees ~source:1 ~value ~faulty:(Vset.singleton 3)
       ~adversary ()
   in
   let sizes = Phase1.slice_sizes ~value_bits:l ~trees:gamma in
@@ -118,7 +118,7 @@ let test_phase1_timing_matches_paper () =
   let value = Bitvec.random l (Random.State.make [| 5 |]) in
   let sim = Sim.create g ~bits:Packet.bits in
   let (_ : int -> Wire.payload option array) =
-    Phase1.run ~sim ~phase:"phase1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+    Phase1.run ~net:(Sim.transport sim) ~phase:"phase1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
   in
   Alcotest.(check (float 1e-9)) "bottleneck = L/gamma" 16.0 ((Sim.timing sim).Sim.pipelined)
 
@@ -134,7 +134,7 @@ let test_phase1_flood_matches_scheduled () =
       let sizes = Phase1.slice_sizes ~value_bits:l ~trees:gamma in
       let sim = Sim.create g ~bits:Packet.bits in
       let received =
-        Phase1.run_flood ~sim ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+        Phase1.run_flood ~net:(Sim.transport sim) ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
       in
       List.iter
         (fun v ->
@@ -160,13 +160,13 @@ let test_phase1_flood_with_delays () =
   let baseline_rounds =
     let sim = Sim.create g ~bits:Packet.bits in
     let (_ : int -> Wire.payload option array) =
-      Phase1.run_flood ~sim ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+      Phase1.run_flood ~net:(Sim.transport sim) ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
     in
     Sim.rounds_run sim
   in
   let sim = Sim.create ~delays g ~bits:Packet.bits in
   let received =
-    Phase1.run_flood ~sim ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+    Phase1.run_flood ~net:(Sim.transport sim) ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
   in
   List.iter
     (fun v ->
@@ -193,7 +193,7 @@ let test_phase1_run_drains_delayed_final_hop () =
   let delays (src, dst) = if (src, dst) = (2, 3) then 2 else 0 in
   let sim = Sim.create ~delays g ~bits:Packet.bits in
   let received =
-    Phase1.run ~sim ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
+    Phase1.run ~net:(Sim.transport sim) ~phase:"p1" ~trees ~source:1 ~value ~faulty:Vset.empty ()
   in
   Alcotest.(check int) "nothing stranded" 0 (Sim.pending_count sim);
   Alcotest.(check bool) "node 3 reassembles the value" true
@@ -209,7 +209,7 @@ let test_rlnc_decodes_everywhere () =
       let l = gamma * m * 4 in
       let value = Bitvec.random l (Random.State.make [| 7 |]) in
       let sim = Sim.create g ~bits:Packet.bits in
-      let r = Rlnc.broadcast ~sim ~phase:"rlnc" ~source:1 ~value ~gamma ~m ~seed:3 () in
+      let r = Rlnc.broadcast ~net:(Sim.transport sim) ~phase:"rlnc" ~source:1 ~value ~gamma ~m ~seed:3 () in
       Alcotest.(check bool) (name ^ ": all decoded") true r.Rlnc.all_decoded;
       List.iter
         (fun (v, d) ->
@@ -241,7 +241,7 @@ let test_rlnc_random_graphs =
          let value = Bitvec.random (gamma * 8 * 2) (Random.State.make [| seed |]) in
          let sim = Sim.create g ~bits:Packet.bits in
          let r =
-           Rlnc.broadcast ~sim ~phase:"rlnc" ~source:1 ~value ~gamma ~m:8 ~seed ()
+           Rlnc.broadcast ~net:(Sim.transport sim) ~phase:"rlnc" ~source:1 ~value ~gamma ~m:8 ~seed ()
          in
          r.Rlnc.all_decoded
          && List.for_all
@@ -254,7 +254,7 @@ let test_rlnc_validates_input () =
     (Invalid_argument "Rlnc.broadcast: value length must be a positive multiple of gamma * m")
     (fun () ->
       ignore
-        (Rlnc.broadcast ~sim ~phase:"rlnc" ~source:1 ~value:(Bitvec.create 33) ~gamma:2
+        (Rlnc.broadcast ~net:(Sim.transport sim) ~phase:"rlnc" ~source:1 ~value:(Bitvec.create 33) ~gamma:2
            ~m:8 ~seed:1 ()))
 
 (* ---------- Dispute control unit behaviour ---------- *)
@@ -559,8 +559,8 @@ let test_pipelined_execution () =
   let g = Gen.dumbbell ~clique:3 ~clique_cap:4 ~bridge_cap:2 in
   let config = Nab.config ~l_bits:2048 ~m:16 () in
   let inputs = input_fn ~l:2048 ~seed:31 in
-  let r1 = Pipelined.run ~g ~config ~inputs ~q:1 in
-  let r8 = Pipelined.run ~g ~config ~inputs ~q:8 in
+  let r1 = Pipelined.run ~g ~config ~inputs ~q:1 () in
+  let r8 = Pipelined.run ~g ~config ~inputs ~q:8 () in
   Alcotest.(check bool) "q=1 delivered" true r1.Pipelined.all_delivered;
   Alcotest.(check bool) "q=8 delivered" true r8.Pipelined.all_delivered;
   (* Filling the pipeline lowers the per-instance cost strictly. *)
@@ -580,7 +580,7 @@ let test_pipelined_execution () =
 let test_pipelined_matches_nab_params () =
   let g = Gen.complete ~n:4 ~cap:2 in
   let config = Nab.config ~l_bits:512 ~m:8 () in
-  let r = Pipelined.run ~g ~config ~inputs:(input_fn ~l:512 ~seed:3) ~q:2 in
+  let r = Pipelined.run ~g ~config ~inputs:(input_fn ~l:512 ~seed:3) ~q:2 () in
   Alcotest.(check int) "gamma" (Params.gamma_k g ~source:1) r.Pipelined.gamma;
   Alcotest.(check int) "rho" (Params.rho_k g ~total_n:4 ~f:1 ~disputes:[])
     r.Pipelined.rho;
