@@ -176,7 +176,17 @@ let run_cmd =
       & info [ "shrink-dir" ] ~docv:"DIR"
           ~doc:"Shrink each violation to a minimal reproducer under $(docv)/ID/.")
   in
-  let run quick soak seed scenarios_file backend out baseline shrink_dir =
+  let cache_stats_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-stats" ] ~docv:"FILE"
+          ~doc:
+            "Also write the plan/witness cache counters (hits, misses, hit \
+             rate, entries per cache) as a JSON object to $(docv) — the \
+             machine-readable form of the exit footer.")
+  in
+  let run quick soak seed scenarios_file backend out baseline shrink_dir cache_stats =
     let scenarios = apply_backend backend (select quick soak seed scenarios_file) in
     Printf.eprintf "campaign: %d scenarios (%d jobs)\n%!" (List.length scenarios)
       (Nab_util.Pool.jobs ());
@@ -195,13 +205,50 @@ let run_cmd =
      else
        let oc = open_out out in
        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Runner.write_jsonl oc rows));
+    (* Cache amortization footer: scenarios sharing a topology should plan
+       it once, so a sinking hit rate here is a perf regression even while
+       every oracle still passes. *)
+    let cache_stats_rows = Nab_util.Plan_cache.global_stats () in
     List.iter
       (fun (name, (s : Nab_util.Plan_cache.stats)) ->
-        if s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses > 0 then
-          Printf.eprintf "plan cache %-24s %d hits / %d misses (%d entries)\n%!" name
-            s.Nab_util.Plan_cache.hits s.Nab_util.Plan_cache.misses
+        let total = s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses in
+        if total > 0 then
+          Printf.eprintf
+            "plan cache %-24s %d hits / %d misses (%.1f%% hit rate, %d entries)\n%!"
+            name s.Nab_util.Plan_cache.hits s.Nab_util.Plan_cache.misses
+            (100.0 *. float_of_int s.Nab_util.Plan_cache.hits /. float_of_int total)
             s.Nab_util.Plan_cache.entries)
-      (Nab_util.Plan_cache.global_stats ());
+      cache_stats_rows;
+    (match cache_stats with
+    | None -> ()
+    | Some path ->
+        let module Json = Nab_obs.Json in
+        let json =
+          Json.Obj
+            (List.map
+               (fun (name, (s : Nab_util.Plan_cache.stats)) ->
+                 let total =
+                   s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses
+                 in
+                 ( name,
+                   Json.Obj
+                     [
+                       ("hits", Json.Int s.Nab_util.Plan_cache.hits);
+                       ("misses", Json.Int s.Nab_util.Plan_cache.misses);
+                       ( "hit_rate",
+                         Json.float
+                           (if total = 0 then 0.0
+                            else
+                              float_of_int s.Nab_util.Plan_cache.hits
+                              /. float_of_int total) );
+                       ("entries", Json.Int s.Nab_util.Plan_cache.entries);
+                     ] ))
+               cache_stats_rows)
+        in
+        let oc = open_out path in
+        output_string oc (Json.to_string json);
+        output_char oc '\n';
+        close_out oc);
     let bad = Runner.violations rows in
     List.iter (print_failure stderr) bad;
     (match shrink_dir with
@@ -246,7 +293,7 @@ let run_cmd =
     with_jobs
       Term.(
         const run $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ backend_term
-        $ out_arg $ baseline_arg $ shrink_arg)
+        $ out_arg $ baseline_arg $ shrink_arg $ cache_stats_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a campaign, stream JSONL results, gate on oracle violations.")

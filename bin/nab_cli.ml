@@ -162,7 +162,7 @@ let transport_of_flags backend latency jitter reorder crash fault_seed =
       if latency <> "zero" || jitter <> 0.0 || reorder <> "" || crash <> ""
          || fault_seed <> 0
       then invalid_arg "fault flags (--latency/--jitter/--reorder/--crash/--fault-seed) require --backend async"
-      else Nab_net.Sim.factory ()
+      else Nab_net.Sim.default_factory
   | `Async -> (
       match
         Nab_net.Async_sim.spec_of_flags ~latency ~jitter ~reorder ~crash
@@ -208,8 +208,32 @@ let run_cmd =
       & info [ "m" ] ~docv:"M"
           ~doc:"Equality-check field degree (GF(2^M) symbol width), 1-61.")
   in
+  let stream_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "stream" ] ~docv:"Q"
+          ~doc:
+            "Stream $(docv) values through the multiplexed session layer \
+             (Nab_stream) instead of running instances serially; reports \
+             amortized goodput. Overrides --q.")
+  in
+  let stream_window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "stream-window" ] ~docv:"W"
+          ~doc:"With --stream: instances admitted in flight concurrently.")
+  in
+  let flag_batch_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "flag-batch" ] ~docv:"B"
+          ~doc:
+            "With --stream: consecutive instances sharing one step-2.2 flag \
+             broadcast (default W/2; 1 = per-instance serial fidelity).")
+  in
   let run family n cap f seed adversary q l m verbose backend trace metrics sample json
-      net_backend latency jitter reorder crash fault_seed =
+      net_backend latency jitter reorder crash fault_seed stream stream_window flag_batch
+      =
     setup_logs ();
     let g = make_graph family n cap seed in
     let transport =
@@ -227,40 +251,87 @@ let run_cmd =
           Hashtbl.add tbl k v;
           v
     in
-    let report =
-      with_obs ~trace ~metrics ~sample (fun obs ->
-          Nab.run ~obs ~transport ~g ~config ~adversary:adv ~inputs ~q ())
-    in
-    if json then
-      print_endline (Nab_obs.Json.to_string (Report.run_to_json report))
-    else begin
-      Printf.printf "network: %s (n=%d), f=%d, L=%d, Q=%d, adversary=%s, faulty=[%s]\n"
-        family (Digraph.num_vertices g) f l q adversary
-        (String.concat "," (List.map string_of_int (Vset.elements report.faulty)));
-      Printf.printf "%-4s %-7s %-5s %-5s %-9s %-9s %-4s %s\n" "k" "gamma_k" "rho_k"
-        "flag" "wall" "pipelined" "DC" "new disputes";
-      List.iter
-        (fun (i : Nab.instance_report) ->
-          Printf.printf "%-4d %-7d %-5d %-5b %-9.2f %-9.2f %-4b %s\n" i.k i.gamma_k
-            i.rho_k i.mismatch i.wall_time i.pipelined_time i.dc_run
-            (String.concat ","
-               (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) i.new_disputes)))
-        report.instances;
-      Printf.printf
-        "agreement=%b validity=%b dispute-control runs=%d (budget f(f+1)=%d)\n"
-        (Nab.fault_free_agree report)
-        (Nab.valid_outputs report ~inputs)
-        report.dc_count
-        (f * (f + 1));
-      Printf.printf "throughput: wall %.3f bits/unit, pipelined %.3f bits/unit\n"
-        report.throughput_wall report.throughput_pipelined;
-      if verbose then
-        List.iter
-          (fun (i : Nab.instance_report) ->
-            Printf.printf "\n-- instance %d --\n" i.Nab.k;
-            Format.printf "%a@." Report.pp_phase_breakdown i)
-          report.instances
-    end
+    match stream with
+    | Some sq ->
+        let r =
+          with_obs ~trace ~metrics ~sample (fun obs ->
+              Nab_stream.run ~obs ~transport ~window:stream_window ?flag_batch ~g
+                ~config ~adversary:adv ~inputs ~q:sq ())
+        in
+        let module Json = Nab_obs.Json in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ( "stream",
+                      Json.Obj
+                        [
+                          ("q", Json.Int sq);
+                          ("window", Json.Int r.Nab_stream.window);
+                          ("flag_batch", Json.Int r.Nab_stream.flag_batch);
+                          ("wall", Json.float r.Nab_stream.wall);
+                          ("goodput", Json.float r.Nab_stream.goodput);
+                          ("delivered", Json.Int r.Nab_stream.delivered);
+                          ("data_rounds", Json.Int r.Nab_stream.data_rounds);
+                          ("flag_batches", Json.Int r.Nab_stream.flag_batches);
+                          ("rollbacks", Json.Int r.Nab_stream.rollbacks);
+                        ] );
+                    ("run", Report.run_to_json r.Nab_stream.run);
+                  ]))
+        else begin
+          Printf.printf
+            "stream: %d values over %s (n=%d), f=%d, L=%d, adversary=%s, \
+             window=%d, flag batch=%d\n"
+            sq family (Digraph.num_vertices g) f l adversary r.Nab_stream.window
+            r.Nab_stream.flag_batch;
+          Printf.printf
+            "wall %.1f, goodput %.3f bits/unit (serial per-value pays the full \
+             pipeline fill)\n"
+            r.Nab_stream.wall r.Nab_stream.goodput;
+          Printf.printf "data rounds %d, flag batches %d, rollbacks %d\n"
+            r.Nab_stream.data_rounds r.Nab_stream.flag_batches
+            r.Nab_stream.rollbacks;
+          Printf.printf "agreement=%b validity=%b dispute-control runs=%d\n"
+            (Nab.fault_free_agree r.Nab_stream.run)
+            (Nab.valid_outputs r.Nab_stream.run ~inputs)
+            r.Nab_stream.run.Nab.dc_count
+        end
+    | None ->
+        let report =
+          with_obs ~trace ~metrics ~sample (fun obs ->
+              Nab.run ~obs ~transport ~g ~config ~adversary:adv ~inputs ~q ())
+        in
+        if json then
+          print_endline (Nab_obs.Json.to_string (Report.run_to_json report))
+        else begin
+          Printf.printf "network: %s (n=%d), f=%d, L=%d, Q=%d, adversary=%s, faulty=[%s]\n"
+            family (Digraph.num_vertices g) f l q adversary
+            (String.concat "," (List.map string_of_int (Vset.elements report.faulty)));
+          Printf.printf "%-4s %-7s %-5s %-5s %-9s %-9s %-4s %s\n" "k" "gamma_k" "rho_k"
+            "flag" "wall" "pipelined" "DC" "new disputes";
+          List.iter
+            (fun (i : Nab.instance_report) ->
+              Printf.printf "%-4d %-7d %-5d %-5b %-9.2f %-9.2f %-4b %s\n" i.k i.gamma_k
+                i.rho_k i.mismatch i.wall_time i.pipelined_time i.dc_run
+                (String.concat ","
+                   (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) i.new_disputes)))
+            report.instances;
+          Printf.printf
+            "agreement=%b validity=%b dispute-control runs=%d (budget f(f+1)=%d)\n"
+            (Nab.fault_free_agree report)
+            (Nab.valid_outputs report ~inputs)
+            report.dc_count
+            (f * (f + 1));
+          Printf.printf "throughput: wall %.3f bits/unit, pipelined %.3f bits/unit\n"
+            report.throughput_wall report.throughput_pipelined;
+          if verbose then
+            List.iter
+              (fun (i : Nab.instance_report) ->
+                Printf.printf "\n-- instance %d --\n" i.Nab.k;
+                Format.printf "%a@." Report.pp_phase_breakdown i)
+              report.instances
+        end
   in
   let term =
     with_jobs
@@ -268,7 +339,8 @@ let run_cmd =
         const run $ family_arg $ n_arg $ cap_arg $ f_arg $ seed_arg $ adversary_arg
         $ q_arg $ l_arg $ m_arg $ verbose_arg $ backend_arg $ trace_arg $ metrics_arg
         $ sample_arg $ json_arg $ net_backend_arg $ latency_arg $ jitter_arg
-        $ reorder_arg $ crash_arg $ fault_seed_arg)
+        $ reorder_arg $ crash_arg $ fault_seed_arg $ stream_arg $ stream_window_arg
+        $ flag_batch_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run Q instances of NAB under an adversary.") term
 

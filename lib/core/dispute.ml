@@ -208,7 +208,7 @@ let parse_input ~value_bits payload =
   | None -> Bitvec.create value_bits
 
 let run ~net ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
-    ?input_adv ?eig_adv () =
+    ?claims_of ?input_adv ?eig_adv () =
   let verts = Digraph.vertices ctx.gk in
   let obs = Transport.obs net in
   if Nab_obs.enabled obs then
@@ -216,8 +216,14 @@ let run ~net ~routing ~ctx ~faulty ~true_input ?(claims_adv = honest_claims_adv)
       ~attrs:
         [ ("nodes", Nab_obs.I (List.length verts)); ("f", Nab_obs.I ctx.f) ]
       "dispute-control";
+  let truthful_claims =
+    match claims_of with
+    | Some f -> f
+    | None ->
+        fun me -> honest_claims net ~net_phases:[ "phase1"; "equality-check" ] ~me
+  in
   let my_claims v =
-    let honest = honest_claims net ~net_phases:[ "phase1"; "equality-check" ] ~me:v in
+    let honest = truthful_claims v in
     if Vset.mem v faulty then claims_adv ~me:v honest else honest
   in
   let input_payload =

@@ -50,6 +50,7 @@ val run :
   faulty:Vset.t ->
   true_input:Bitvec.t ->
   ?claims_adv:claims_adversary ->
+  ?claims_of:(int -> Wire.claim list) ->
   ?input_adv:(Bitvec.t -> Bitvec.t) ->
   ?eig_adv:Eig.adversary ->
   unit ->
@@ -58,7 +59,11 @@ val run :
     verdict (honest nodes' verdicts are always identical — asserted in
     tests). [input_adv] lets a faulty source lie about its input. The claim
     transcripts of honest nodes are read from the simulator's event trace
-    for phases ["phase1"] and ["equality-check"]. *)
+    for phases ["phase1"] and ["equality-check"] — unless [claims_of]
+    supplies them directly (a node's true transcript), which callers
+    multiplexing several instances over one shared transport use, since
+    the shared event trace interleaves instances. [claims_adv] still
+    rewrites faulty nodes' claims on top of either source. *)
 
 val analyse :
   ctx:ctx ->

@@ -138,7 +138,10 @@ type session = {
   ses_total_n : int;
   ses_obs : Nab_obs.ctx;
   ses_transport : Transport.factory;
-  ses_plans : ((int * int * int) list * int list, graph_plan) Hashtbl.t;
+  (* Keyed by (G_k, source): a multiplexing session layer plans per
+     submission source, the single-source driver always hits its own
+     config.source entry. *)
+  ses_plans : (((int * int * int) list * int list) * int, graph_plan) Hashtbl.t;
   mutable ses_gk : Digraph.t;
   mutable ses_disputes : Params.dispute list;
   mutable ses_dc_count : int;
@@ -146,7 +149,7 @@ type session = {
   mutable ses_instances : instance_report list; (* reversed *)
 }
 
-let create_session ?(obs = Nab_obs.null) ?(transport = Sim.factory ()) ~g
+let create_session ?(obs = Nab_obs.null) ?(transport = Sim.default_factory) ~g
     ~config ~adversary () =
   let { f; source; _ } = validate_config config in
   if not (Digraph.mem_vertex g source) then invalid_arg "Nab.create_session: source absent";
@@ -176,6 +179,94 @@ let session_disputes ses = ses.ses_disputes
 let session_dc_count ses = ses.ses_dc_count
 let session_faulty ses = ses.ses_faulty
 let session_instances ses = List.rev ses.ses_instances
+let session_config ses = ses.ses_config
+let session_obs ses = ses.ses_obs
+let session_transport ses = ses.ses_transport
+let session_adversary ses = ses.ses_adversary
+let session_total_n ses = ses.ses_total_n
+let session_physical_graph ses = ses.ses_g
+let session_next_k ses = ses.ses_next_k
+
+(* ---- The resumable-session primitives -------------------------------
+   [session_broadcast] below is one serial composition of these; a
+   multiplexing driver (Nab_stream) interleaves many instances between
+   them while the session record keeps the cross-instance state: G_k,
+   accumulated disputes, per-graph plans, the dispute-control budget. *)
+
+let session_excluded ses = ses.ses_total_n - Digraph.num_vertices ses.ses_gk
+let session_f_eff ses = max 0 (ses.ses_config.f - session_excluded ses)
+let session_reduced ses = session_excluded ses >= ses.ses_config.f && ses.ses_config.f > 0
+
+let session_plan_for ses ~source =
+  let key = (graph_key ses.ses_gk, source) in
+  match Hashtbl.find_opt ses.ses_plans key with
+  | Some p -> p
+  | None ->
+      let config = { ses.ses_config with source } in
+      let p = plan ~config ~total_n:ses.ses_total_n ~disputes:ses.ses_disputes ses.ses_gk in
+      Hashtbl.add ses.ses_plans key p;
+      Nab_obs.add ses.ses_obs "nab.coding_attempts" p.plan_coding_attempts;
+      Nab_obs.add ses.ses_obs "nab.plans_built" 1;
+      p
+
+let session_value_bits ses plan =
+  padded_bits ~l:ses.ses_config.l_bits ~rho:plan.plan_rho ~m:ses.ses_config.m
+
+let session_actx ses ~k ~source ~value_bits plan =
+  {
+    Adversary.instance = k;
+    gk = ses.ses_gk;
+    trees = plan.plan_trees;
+    coding = plan.plan_coding;
+    source;
+    f = ses.ses_config.f;
+    value_bits;
+    rng = Random.State.make [| ses.ses_config.seed; k; 0xadf |];
+  }
+
+let session_flag_backend ses =
+  match ses.ses_config.flag_backend with
+  | `Phase_king when Digraph.num_vertices ses.ses_gk > 4 * session_f_eff ses ->
+      `Phase_king
+  | `Phase_king ->
+      Logs.warn (fun m ->
+          m "phase-king needs n > 4f (n=%d, f=%d); falling back to EIG"
+            (Digraph.num_vertices ses.ses_gk) (session_f_eff ses));
+      `Eig
+  | `Eig -> `Eig
+
+let session_dc_begin ses = ses.ses_dc_count <- ses.ses_dc_count + 1
+
+let session_dc_commit ses ~k ~t (vantage_verdict : Dispute.verdict) =
+  let new_disputes =
+    List.filter
+      (fun d -> not (List.mem d ses.ses_disputes))
+      vantage_verdict.Dispute.new_disputes
+  in
+  ses.ses_disputes <- List.sort compare (new_disputes @ ses.ses_disputes);
+  Nab_obs.add ses.ses_obs "nab.dc_runs" 1;
+  Nab_obs.add ses.ses_obs "nab.disputes" (List.length new_disputes);
+  if Nab_obs.enabled ses.ses_obs then
+    Nab_obs.point ses.ses_obs ~scope:"nab" ~t
+      ~attrs:
+        [
+          ("k", Nab_obs.I k);
+          ("new_disputes", Nab_obs.I (List.length new_disputes));
+          ( "provably_faulty",
+            Nab_obs.I (Vset.cardinal vantage_verdict.Dispute.provably_faulty) );
+        ]
+      "dispute-control";
+  new_disputes
+
+let session_dc_apply ses =
+  ses.ses_gk <-
+    Params.apply_disputes ses.ses_gk ~total_n:ses.ses_total_n ~f:ses.ses_config.f
+      ~disputes:ses.ses_disputes
+
+let session_push_report ses report =
+  ses.ses_next_k <- report.k + 1;
+  ses.ses_instances <- report :: ses.ses_instances;
+  Nab_obs.add ses.ses_obs "nab.instances" 1
 
 (* Per-instance roll-up into the instrumentation context: cumulative bits
    per link and rounds/bits per phase, from the instance's simulator. *)
@@ -193,8 +284,7 @@ let flush_sim_obs obs net =
   end
 
 let session_broadcast ses input0 =
-  let { f; source; l_bits; m; seed; flag_backend } = ses.ses_config in
-  let config = ses.ses_config in
+  let { f; source; l_bits; m; seed = _; flag_backend = _ } = ses.ses_config in
   let adversary = ses.ses_adversary in
   let faulty = ses.ses_faulty in
   let total_n = ses.ses_total_n in
@@ -232,33 +322,12 @@ let session_broadcast ses input0 =
         }
       end
       else begin
-        let plan =
-          match Hashtbl.find_opt ses.ses_plans (graph_key ses.ses_gk) with
-          | Some p -> p
-          | None ->
-              let p = plan ~config ~total_n ~disputes:ses.ses_disputes ses.ses_gk in
-              Hashtbl.add ses.ses_plans (graph_key ses.ses_gk) p;
-              Nab_obs.add obs "nab.coding_attempts" p.plan_coding_attempts;
-              Nab_obs.add obs "nab.plans_built" 1;
-              p
-        in
-        let excluded = total_n - Digraph.num_vertices ses.ses_gk in
-        let f_eff = max 0 (f - excluded) in
-        let reduced = excluded >= f && f > 0 in
-        let value_bits = padded_bits ~l:l_bits ~rho:plan.plan_rho ~m in
+        let plan = session_plan_for ses ~source in
+        let f_eff = session_f_eff ses in
+        let reduced = session_reduced ses in
+        let value_bits = session_value_bits ses plan in
         let value = Bitvec.pad_to input value_bits in
-        let actx =
-          {
-            Adversary.instance = k;
-            gk = ses.ses_gk;
-            trees = plan.plan_trees;
-            coding = plan.plan_coding;
-            source;
-            f;
-            value_bits;
-            rng = Random.State.make [| seed; k; 0xadf |];
-          }
-        in
+        let actx = session_actx ses ~k ~source ~value_bits plan in
         (* The simulator carries the full physical network: Appendix D runs
            Broadcast_Default over the 2f+1-connectivity of the ORIGINAL
            graph G (disputed links still physically exist; reliability comes
@@ -316,17 +385,7 @@ let session_broadcast ses input0 =
           let flag_inputs =
             List.map (fun (v, b) -> (v, Wire.Flag b)) own_flags
           in
-          let n_k = Digraph.num_vertices ses.ses_gk in
-          let backend =
-            match flag_backend with
-            | `Phase_king when n_k > 4 * f_eff -> `Phase_king
-            | `Phase_king ->
-                Logs.warn (fun m ->
-                    m "phase-king needs n > 4f (n=%d, f=%d); falling back to EIG" n_k
-                      f_eff);
-                `Eig
-            | `Eig -> `Eig
-          in
+          let backend = session_flag_backend ses in
           let participants = Digraph.vertices ses.ses_gk in
           let flag_decisions =
             match backend with
@@ -379,7 +438,7 @@ let session_broadcast ses input0 =
           end
           else begin
             (* ---- Phase 3: dispute control ---- *)
-            ses.ses_dc_count <- ses.ses_dc_count + 1;
+            session_dc_begin ses;
             let ctx =
               {
                 Dispute.gk = ses.ses_gk;
@@ -400,23 +459,9 @@ let session_broadcast ses input0 =
             in
             let vantage_verdict = List.assoc vantage verdicts in
             let new_disputes =
-              List.filter
-                (fun d -> not (List.mem d ses.ses_disputes))
-                vantage_verdict.Dispute.new_disputes
+              session_dc_commit ses ~k ~t:(Transport.timing net).Sim.wall
+                vantage_verdict
             in
-            ses.ses_disputes <- List.sort compare (new_disputes @ ses.ses_disputes);
-            Nab_obs.add obs "nab.dc_runs" 1;
-            Nab_obs.add obs "nab.disputes" (List.length new_disputes);
-            if Nab_obs.enabled obs then
-              Nab_obs.point obs ~scope:"nab" ~t:(Transport.timing net).Sim.wall
-                ~attrs:
-                  [
-                    ("k", Nab_obs.I k);
-                    ("new_disputes", Nab_obs.I (List.length new_disputes));
-                    ( "provably_faulty",
-                      Nab_obs.I (Vset.cardinal vantage_verdict.Dispute.provably_faulty) );
-                  ]
-                "dispute-control";
             flush_sim_obs obs net;
             let tm = Transport.timing net in
             let report =
@@ -451,15 +496,13 @@ let session_broadcast ses input0 =
               in
               ()
             end;
-            ses.ses_gk <- Params.apply_disputes ses.ses_gk ~total_n ~f ~disputes:ses.ses_disputes;
+            session_dc_apply ses;
             report
           end
         end
       end
     in
-  ses.ses_next_k <- k + 1;
-  ses.ses_instances <- report :: ses.ses_instances;
-  Nab_obs.add obs "nab.instances" 1;
+  session_push_report ses report;
   (match kernel_stats0 with
   | Some s0 ->
       let d = Nab_field.Kernel.diff_stats s0 (Nab_field.Kernel.stats ()) in

@@ -131,7 +131,7 @@ val create_session :
     (n >= 3f+1, connectivity >= 2f+1, source present) and fixes the
     corrupted node set for the whole session.
 
-    [transport] (default {!Sim.factory}[ ()]) supplies the network backend:
+    [transport] (default {!Sim.default_factory}) supplies the network backend:
     every instance broadcast creates one transport over the session graph
     through it. Pass {!Async_sim.factory} for the event-driven backend with
     injected faults; decisions under [Async_sim.no_faults] match the sync
@@ -159,6 +159,85 @@ val session_disputes : session -> Params.dispute list
 val session_dc_count : session -> int
 val session_faulty : session -> Vset.t
 val session_instances : session -> instance_report list
+val session_config : session -> config
+val session_obs : session -> Nab_obs.ctx
+val session_transport : session -> Transport.factory
+val session_adversary : session -> Adversary.t
+val session_total_n : session -> int
+
+val session_physical_graph : session -> Digraph.t
+(** The original G: the physical network every instance's transport is
+    created over (disputed links still exist; Phases 1/2.1 restrict
+    themselves to {!session_graph}). *)
+
+val session_next_k : session -> int
+(** The 1-based id the next broadcast instance will carry. *)
+
+(** {2 Resumable-session primitives}
+
+    {!session_broadcast} is one serial composition of the helpers below;
+    they are exposed so a multiplexing driver ({!Nab_stream}) can
+    interleave many in-flight instances between them while this record
+    keeps the cross-instance state — the session invariants are:
+
+    - {!session_graph} is always [Params.apply_disputes] of the original
+      graph under {!session_disputes} (G_k evolution, DC4);
+    - {!session_disputes} only grows, is sorted and duplicate-free, and
+      every growth step goes through {!session_dc_commit} (so
+      {!session_dc_count} counts exactly the Phase-3 executions — the
+      budget the f(f+1) theorem bounds);
+    - plans served by {!session_plan_for} are cached per (G_k, source)
+      and the [nab.plans_built] / [nab.coding_attempts] counters fire on
+      first use only, whatever order instances complete in;
+    - instance ids are dense and increasing: {!session_push_report} for
+      instance k moves {!session_next_k} to k+1. *)
+
+val padded_bits : l:int -> rho:int -> m:int -> int
+(** L rounded up to a whole number of rho*m-bit equality-check units. *)
+
+val session_plan_for : session -> source:int -> graph_plan
+(** The plan of the current G_k for instances originating at [source]
+    (the session-config source or any other submitting vertex), served
+    from the session's per-graph table over the process-wide
+    {!Plan_cache}. *)
+
+val session_value_bits : session -> graph_plan -> int
+(** {!padded_bits} of the session's L under the plan's rho. *)
+
+val session_excluded : session -> int
+(** Vertices excluded so far: |V| - |V_k|. *)
+
+val session_f_eff : session -> int
+(** max 0 (f - excluded): the residual fault budget instances run with. *)
+
+val session_reduced : session -> bool
+(** The paper's >= f-exclusions special case: Phase 1 alone is reliable
+    and Phases 2/3 are skipped. *)
+
+val session_actx : session -> k:int -> source:int -> value_bits:int -> graph_plan -> Adversary.ctx
+(** The adversary context instance [k] runs under — exactly the one
+    {!session_broadcast} builds (same per-instance RNG seeding), so an
+    external driver replays identical adversary behaviour. *)
+
+val session_flag_backend : session -> [ `Eig | `Phase_king ]
+(** The step-2.2 backend for the current G_k (honours the configured
+    choice, falling back to EIG when n_k <= 4 f_eff). *)
+
+val session_dc_begin : session -> unit
+(** Count a Phase-3 execution (before it runs, like the serial driver). *)
+
+val session_dc_commit : session -> k:int -> t:float -> Dispute.verdict -> Params.dispute list
+(** Merge a dispute-control verdict (taken at a fault-free vantage) into
+    the session at simulated time [t]: returns the disputes that are new
+    to the session, accumulates them, and emits the [nab.dc_runs] /
+    [nab.disputes] counters and the ["dispute-control"] point event. *)
+
+val session_dc_apply : session -> unit
+(** Recompute G_(k+1) from the accumulated disputes (DC4). *)
+
+val session_push_report : session -> instance_report -> unit
+(** Append a finished instance: advances {!session_next_k} past the
+    report's [k] and emits the [nab.instances] counter. *)
 
 val session_report : session -> run_report
 (** Aggregate everything broadcast so far. *)

@@ -1,6 +1,5 @@
 open Nab_graph
 open Nab_net
-open Nab_classic
 
 type result = {
   q : int;
@@ -16,127 +15,46 @@ type result = {
   all_delivered : bool;
 }
 
-let proto ~tree ~instance = Printf.sprintf "pp1:%d:%d" tree instance
-
-let run ?(transport = Sim.factory ()) ~g ~config ~inputs ~q () =
+(* A thin client of the streaming session layer: submit Q values, let
+   Nab_stream keep the window full, and read the Figure-3 quantities off
+   the stream report. The hand-rolled staggered super-round loop this
+   module used to carry is subsumed by the per-link scheduler — and the
+   stream runs the real driver, so "delivered" here means the actual NAB
+   decision procedure agreed on the inputs, not a transcript check. *)
+let run ?(transport = Sim.default_factory) ~g ~config ~inputs ~q () =
   let { Nab.f; source; l_bits; m; seed = _; flag_backend = _ } = config in
   if q < 1 then invalid_arg "Pipelined.run: q must be positive";
   if not (Connectivity.meets_requirement g ~f) then
     invalid_arg "Pipelined.run: need n >= 3f+1 and connectivity >= 2f+1";
   let total_n = Digraph.num_vertices g in
-  (* The pipelined Phase 1 uses exactly the instance-1 protocol structure
-     (no disputes yet), so share Nab's process-wide plan cache instead of
-     recomputing trees and re-verifying coding matrices per run. *)
   let plan = Nab.plan ~config ~total_n ~disputes:[] g in
   let gamma = plan.Nab.plan_gamma in
   let rho = plan.Nab.plan_rho in
-  let trees = Array.of_list plan.Nab.plan_trees in
-  let coding = plan.Nab.plan_coding in
-  let unit_bits = rho * m in
-  let value_bits = (l_bits + unit_bits - 1) / unit_bits * unit_bits in
-  let sizes = Phase1.slice_sizes ~value_bits ~trees:gamma in
-  let value k = Bitvec.pad_to (Bitvec.pad_to (inputs k) l_bits) value_bits in
-  let slices k = Array.of_list (Bitvec.split_balanced (value k) ~parts:gamma) in
-  let depth_of = Array.map (fun t -> Arborescence.vertices_by_depth t ~root:source) trees in
+  let value_bits = Nab.padded_bits ~l:l_bits ~rho ~m in
   let hops =
-    Array.fold_left
-      (fun acc by_depth -> List.fold_left (fun acc (_, d) -> max acc d) acc by_depth)
-      1 depth_of
+    List.fold_left
+      (fun acc t ->
+        List.fold_left
+          (fun acc (_, d) -> max acc d)
+          acc
+          (Arborescence.vertices_by_depth t ~root:source))
+      1 plan.Nab.plan_trees
   in
-  let net = transport ~obs:Nab_obs.null ~keep_events:false g in
-  let routing = Routing.build g ~f in
-  (* received.(tree) : (instance, node) -> payload *)
-  let received = Array.init gamma (fun _ -> Hashtbl.create 64) in
-  let slice_of ~instance ~tree v =
-    if v = source then Some (Phase1.slice_payload (slices instance).(tree))
-    else Hashtbl.find_opt received.(tree) (instance, v)
+  let window = min q 256 in
+  let report =
+    Nab_stream.run ~transport ~window ~g ~config ~adversary:Adversary.none ~inputs
+      ~q ()
   in
-  let all_ok = ref true in
-  let verts = Digraph.vertices g in
-  for r = 1 to q + hops do
-    (* --- sub-stage A: one Phase-1 hop for every in-flight instance --- *)
-    let outbox v =
-      List.concat
-        (List.init gamma (fun t ->
-             let my_depth =
-               List.fold_left
-                 (fun acc (w, d) -> if w = v then Some d else acc)
-                 None depth_of.(t)
-             in
-             match my_depth with
-             | None -> []
-             | Some d ->
-                 let instance = r - d in
-                 if instance < 1 || instance > q then []
-                 else begin
-                   let payload =
-                     match slice_of ~instance ~tree:t v with
-                     | Some p -> p
-                     | None -> Phase1.slice_payload (Bitvec.create sizes.(t))
-                   in
-                   List.map
-                     (fun dst ->
-                       ( dst,
-                         Packet.direct ~proto:(proto ~tree:t ~instance) ~origin:v ~dst
-                           payload ))
-                     (Arborescence.children trees.(t) v)
-                 end))
-    in
-    let inbox = Transport.round net ~phase:"pipe-phase1" outbox in
-    List.iter
-      (fun v ->
-        List.iter
-          (fun (sender, (pkt : Packet.t)) ->
-            Array.iteri
-              (fun t tbl ->
-                for instance = max 1 (r - hops) to min q r do
-                  if
-                    pkt.Packet.proto = proto ~tree:t ~instance
-                    && Arborescence.parent trees.(t) v = Some sender
-                    && not (Hashtbl.mem tbl (instance, v))
-                  then Hashtbl.replace tbl (instance, v) pkt.Packet.payload
-                done)
-              received)
-          (inbox v))
-      verts;
-    (* --- sub-stages B + C: Phase 2 for the instance that just landed --- *)
-    let finishing = r - hops in
-    if finishing >= 1 && finishing <= q then begin
-      let x_of v =
-        let per_tree = Array.init gamma (fun t -> slice_of ~instance:finishing ~tree:t v) in
-        Bitvec.to_symbols (Phase1.assemble ~slice_sizes:sizes per_tree) ~sym_bits:m
-      in
-      let flags =
-        Equality_check.run ~net ~graph:g ~phase:"pipe-equality-check" ~coding
-          ~values:x_of ~faulty:Vset.empty ()
-      in
-      let flag_inputs = List.map (fun (v, b) -> (v, Wire.Flag b)) flags in
-      let decisions =
-        Eig.broadcast_all ~net ~phase:"pipe-flags" ~routing ~f ~inputs:flag_inputs
-          ~default:(Wire.Flag false) ~faulty:Vset.empty ()
-      in
-      let mismatch =
-        List.exists
-          (fun v ->
-            match Hashtbl.find_opt decisions (v, source) with
-            | Some (Wire.Flag b) -> b
-            | _ -> false)
-          verts
-      in
-      if mismatch then all_ok := false;
-      (* Delivery check: everyone holds the input. *)
-      let expected = Bitvec.to_symbols (value finishing) ~sym_bits:m in
-      if not (List.for_all (fun v -> x_of v = expected) verts) then all_ok := false
-    end
-  done;
-  (* An async backend may hold late messages after the last scheduled
-     round; count that tail into the completion time. *)
-  (if Transport.pending_count net > 0 then
-     let (_ : int -> (int * Packet.t) list) =
-       Transport.drain net ~phase:"pipe-drain"
-     in
-     ());
-  let completion = (Transport.timing net).Sim.wall in
+  let completion = report.Nab_stream.wall in
+  let run_report = report.Nab_stream.run in
+  let all_delivered =
+    report.Nab_stream.delivered = q
+    && Nab.fault_free_agree run_report
+    && Nab.valid_outputs run_report ~inputs
+    && List.for_all
+         (fun (i : Nab.instance_report) -> not i.Nab.mismatch)
+         run_report.Nab.instances
+  in
   let round_core =
     float_of_int value_bits
     *. ((1.0 /. float_of_int gamma) +. (1.0 /. float_of_int rho))
@@ -152,5 +70,5 @@ let run ?(transport = Sim.factory ()) ~g ~config ~inputs ~q () =
     round_core;
     model_completion = float_of_int (q + hops) *. round_core;
     throughput = float_of_int (l_bits * q) /. completion;
-    all_delivered = !all_ok;
+    all_delivered;
   }

@@ -39,5 +39,5 @@ val run :
   unit ->
   result
 (** Raises like {!Nab.run} on infeasible networks. [transport] (default
-    {!Sim.factory}[ ()]) supplies the network backend the pipeline runs
-    on. *)
+    {!Sim.default_factory}) supplies the network backend the pipeline
+    runs on. *)

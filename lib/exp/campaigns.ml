@@ -80,7 +80,24 @@ let quick () =
           ();
       ]
   in
-  bounds @ gap @ adversaries @ corners
+  (* The streaming session layer as a campaign axis: multiplexed scheduling
+     (window > 1, batched flags, rollback on dispute) must decide exactly
+     what the serial driver decides, on every backend the campaign runs. *)
+  let stream_checks = Scenario.invariant_checks @ [ "stream-equiv" ] in
+  let stream =
+    [
+      make ~stream:8 ~q:6 ~checks:stream_checks
+        (Chords { n = 6; cap = 2; chord_cap = 2 })
+        ();
+      make ~stream:4 ~q:6 ~adversary:"ec-liar" ~checks:stream_checks
+        (Complete { n = 4; cap = 2 })
+        ();
+      make ~stream:4 ~q:5 ~adversary:"stealthy" ~checks:stream_checks
+        (Twin_cliques { half = 2; spoke_cap = 4; intra_cap = 4; cross_cap = 1 })
+        ();
+    ]
+  in
+  bounds @ gap @ adversaries @ corners @ stream
 
 let soak ~trials ~seed = Scenario.sample ~trials ~seed
 

@@ -133,6 +133,51 @@ let oblivious_gap ctx =
     Printf.sprintf "oblivious=%.4f nab_lb=%.4f capacity_ub=%.4f%s" obl
       s.Params.throughput_lb s.Params.capacity_ub gap_txt )
 
+(* For stream scenarios (Scenario.stream = Some w): replay the q instances
+   serially on a fresh session over the same transport and require byte-
+   identical decisions, dispute state and graph evolution — the streaming
+   layer is a scheduling transformation, never a semantic one. Trivially
+   true on serial scenarios, so it can sit in any check list. *)
+let stream_equiv ctx =
+  match ctx.scenario.Scenario.stream with
+  | None -> (true, "not a stream scenario")
+  | Some _ ->
+      let serial =
+        Nab.run
+          ~transport:(Scenario.transport_factory ctx.scenario)
+          ~g:ctx.g
+          ~config:(Scenario.config ctx.scenario)
+          ~adversary:(Scenario.adversary_t ctx.scenario)
+          ~inputs:(Scenario.inputs ctx.scenario)
+          ~q:ctx.scenario.Scenario.q ()
+      in
+      let sig_of (r : Nab.run_report) =
+        let b = Buffer.create 512 in
+        List.iter
+          (fun (i : Nab.instance_report) ->
+            Buffer.add_string b
+              (Printf.sprintf "k=%d g=%d r=%d mm=%b dc=%b red=%b|" i.Nab.k
+                 i.Nab.gamma_k i.Nab.rho_k i.Nab.mismatch i.Nab.dc_run
+                 i.Nab.reduced_to_phase1);
+            List.iter
+              (fun (v, bv) ->
+                Buffer.add_string b (Printf.sprintf "%d:%s " v (Bitvec.to_hex bv)))
+              i.Nab.decisions;
+            List.iter
+              (fun (x, y) -> Buffer.add_string b (Printf.sprintf "d%d,%d " x y))
+              i.Nab.new_disputes)
+          r.Nab.instances;
+        Buffer.add_string b (Printf.sprintf "dc=%d" r.Nab.dc_count);
+        Buffer.contents b
+      in
+      let ok =
+        sig_of serial = sig_of ctx.report
+        && Digraph.equal serial.Nab.final_graph ctx.report.Nab.final_graph
+      in
+      ( ok,
+        if ok then "stream decisions identical to the serial replay"
+        else "stream diverged from the serial driver" )
+
 let builtin =
   [
     ("agreement", agreement);
@@ -143,6 +188,7 @@ let builtin =
     ("theorem3-ratio", theorem3_ratio);
     ("capacity-witness", capacity_witness);
     ("oblivious-gap", oblivious_gap);
+    ("stream-equiv", stream_equiv);
   ]
 
 let registry : (string, oracle) Hashtbl.t = Hashtbl.create 8

@@ -53,7 +53,12 @@ val builtin : (string * oracle) list
     - ["oblivious-gap"]: a capacity-oblivious EIG broadcast of the same
       value measures at most the Theorem-2 capacity ceiling, and — when the
       scenario sets [min_gap] — NAB's guaranteed rate beats the oblivious
-      baseline by at least that factor. *)
+      baseline by at least that factor.
+    - ["stream-equiv"]: for stream scenarios ({!Scenario.t.stream}), a
+      serial replay of the q instances on a fresh session decides the same
+      values, accumulates the same disputes and evolves the same graph —
+      the streaming layer is a scheduling transformation only. Trivially
+      passes on serial scenarios. *)
 
 val register : string -> oracle -> unit
 (** Extend the oracle vocabulary for this process (tests inject

@@ -39,19 +39,34 @@ let run_scenario scenario =
     let adversary = Scenario.adversary_t scenario in
     let inputs = Scenario.inputs scenario in
     let transport = Scenario.transport_factory scenario in
-    let report =
-      Nab.run ~transport ~g ~config ~adversary ~inputs ~q:scenario.Scenario.q ()
+    let report, stream_stats =
+      match scenario.Scenario.stream with
+      | None ->
+          ( Nab.run ~transport ~g ~config ~adversary ~inputs ~q:scenario.Scenario.q (),
+            [] )
+      | Some window ->
+          let r =
+            Nab_stream.run ~transport ~window ~g ~config ~adversary ~inputs
+              ~q:scenario.Scenario.q ()
+          in
+          ( r.Nab_stream.run,
+            [
+              ("stream_wall", Json.float r.Nab_stream.wall);
+              ("stream_goodput", Json.float r.Nab_stream.goodput);
+              ("stream_flag_batches", Json.Int r.Nab_stream.flag_batches);
+              ("stream_rollbacks", Json.Int r.Nab_stream.rollbacks);
+            ] )
     in
     let ctx = { Checker.scenario; g; report; inputs } in
     let checks = Checker.evaluate ctx ~names:scenario.Scenario.checks in
-    (g, report, checks)
+    (g, report, stream_stats, checks)
   with
-  | g, report, checks ->
+  | g, report, stream_stats, checks ->
       let outcome =
         if List.for_all (fun (c : Checker.outcome) -> c.Checker.ok) checks then Pass
         else Violation
       in
-      { scenario; outcome; checks; stats = stats_of ~g report }
+      { scenario; outcome; checks; stats = stats_of ~g report @ stream_stats }
   | exception e -> { scenario; outcome = Error (Printexc.to_string e); checks = []; stats = [] }
 
 (* Fixed chunk size: the fan-out batches (and hence the order in which

@@ -39,6 +39,7 @@ type t = {
   flag_backend : [ `Eig | `Phase_king ];
   checks : string list;
   min_gap : float option;
+  stream : int option;
   backend : backend;
 }
 
@@ -81,9 +82,14 @@ let adv_label { adv; disabled } =
    stays byte-identical); async runs append the fault-spec content, so two
    scenarios differing only in injected faults never collide. *)
 let derive_id s =
-  Printf.sprintf "%s/%s/f%d-l%d-m%d-s%d-q%d%s%s" (topo_label s.topo)
+  Printf.sprintf "%s/%s/f%d-l%d-m%d-s%d-q%d%s%s%s" (topo_label s.topo)
     (adv_label s.adversary) s.f s.l_bits s.m s.seed s.q
     (match s.flag_backend with `Eig -> "" | `Phase_king -> "-pk")
+    (* streamed runs get their own ids, so every pre-stream baseline id
+       stays byte-identical *)
+    (match s.stream with
+    | None -> ""
+    | Some w -> Printf.sprintf "+stream-w%d" w)
     (match s.backend with
     | Sync -> ""
     | Async spec -> "+async-" ^ Nab_net.Async_sim.spec_label spec)
@@ -95,7 +101,7 @@ let invariant_checks =
 
 let make ?id ?(adversary = "none") ?(disabled = []) ?(f = 1) ?(l_bits = 256) ?(m = 16)
     ?(seed = 7) ?(q = 2) ?(flag_backend = `Eig) ?(checks = invariant_checks) ?min_gap
-    ?(backend = Sync) topo () =
+    ?stream ?(backend = Sync) topo () =
   let s =
     {
       id = "";
@@ -109,6 +115,7 @@ let make ?id ?(adversary = "none") ?(disabled = []) ?(f = 1) ?(l_bits = 256) ?(m
       flag_backend;
       checks;
       min_gap;
+      stream;
       backend;
     }
   in
@@ -118,7 +125,7 @@ let with_backend backend s = { s with backend; id = derive_id { s with backend }
 
 let transport_factory s =
   match s.backend with
-  | Sync -> Nab_net.Sim.factory ()
+  | Sync -> Nab_net.Sim.default_factory
   | Async spec -> Nab_net.Async_sim.factory ~spec ()
 
 (* ---- materialization ---- *)
@@ -301,8 +308,9 @@ let to_json s : Json.t =
        ("checks", Json.List (List.map (fun c -> Json.Str c) s.checks));
      ]
     @ (match s.min_gap with None -> [] | Some g -> [ ("min_gap", Json.float g) ])
-    (* emitted only for async scenarios, so sync JSON stays byte-identical
-       to the pre-backend format (committed baselines, shrinker repros) *)
+    (* stream/backend emitted only when set, so pre-existing scenario JSON
+       stays byte-identical (committed baselines, shrinker repros) *)
+    @ (match s.stream with None -> [] | Some w -> [ ("stream", Json.Int w) ])
     @ match s.backend with
       | Sync -> []
       | Async spec -> [ ("backend", fault_spec_to_json spec) ])
@@ -487,6 +495,15 @@ let of_json j =
         | Some g -> Ok (Some g)
         | None -> Error "field \"min_gap\" has the wrong type")
   in
+  let* stream =
+    (* absent = serial run: pre-stream scenario JSON decodes unchanged *)
+    match Json.member "stream" j with
+    | None -> Ok None
+    | Some v -> (
+        match Json.get_int v with
+        | Some w -> Ok (Some w)
+        | None -> Error "field \"stream\" has the wrong type")
+  in
   let* backend =
     (* absent = Sync: pre-backend scenario JSON decodes unchanged *)
     match Json.member "backend" j with
@@ -508,6 +525,7 @@ let of_json j =
       flag_backend;
       checks;
       min_gap;
+      stream;
       backend;
     }
 

@@ -71,6 +71,13 @@ type t = {
   min_gap : float option;
       (** for the ["oblivious-gap"] oracle: require
           [throughput_lb >= min_gap * oblivious_throughput] *)
+  stream : int option;
+      (** [Some w]: run the q instances through the streaming session layer
+          ({!Nab_core.Nab_stream}) with admission window [w] instead of
+          serially — the id gains a ["+stream-wW"] suffix and the row's
+          stats gain the stream totals (goodput, flag batches, rollbacks).
+          Pair with the ["stream-equiv"] oracle to pin the schedule to the
+          serial driver's decisions. *)
   backend : backend;  (** network backend; {!Sync} unless set explicitly *)
 }
 
@@ -93,6 +100,7 @@ val make :
   ?flag_backend:[ `Eig | `Phase_king ] ->
   ?checks:string list ->
   ?min_gap:float ->
+  ?stream:int ->
   ?backend:backend ->
   topo ->
   unit ->

@@ -1,0 +1,57 @@
+(** Per-link weighted deficit-round-robin scheduling: the data plane of a
+    streaming session that multiplexes many broadcast instances over one
+    shared fabric.
+
+    Each directed link of the graph owns an independent scheduler: a FIFO
+    per {e flow} (a caller-chosen integer id, e.g. the broadcast instance),
+    a rotation over the flows with queued traffic, and a per-flow deficit
+    counter in bits. One {!select} call picks at most one round's worth of
+    traffic per link — a time budget of [quantum] simulated units, i.e.
+    [cap_e * quantum] bits on link [e] — splitting the budget across the
+    active flows in proportion to their weights, with unused credit carried
+    in the deficit counter exactly as in classic DRR.
+
+    Fairness contract: over any interval in which a set of flows stays
+    backlogged on a link, the bits each flow sends are proportional to its
+    weight, up to one maximum-packet-size of slack per flow (the DRR
+    bound). Progress guarantee: a link with queued traffic never goes
+    silent — when no queued packet fits the round budget, the head packet
+    of the rotation's current flow is force-sent and that flow's credit is
+    reset, so an oversized packet costs its flow its accumulated share but
+    cannot deadlock the link.
+
+    Backpressure is by construction: {!enqueue} never drops or reorders
+    within a flow, packets simply wait in their link FIFO until scheduled;
+    {!queued} exposes the backlog so an admission layer can bound its
+    in-flight window. *)
+
+type t
+
+val create : ?quantum:float -> Nab_graph.Digraph.t -> t
+(** A scheduler over the graph's links. [quantum] (default [32.0]) is the
+    per-round time budget; a round produced by {!select} therefore lasts
+    about [quantum] simulated time units when links are saturated. Raises
+    [Invalid_argument] when [quantum <= 0]. *)
+
+val enqueue : t -> flow:int -> ?weight:int -> src:int -> dst:int -> Packet.t -> unit
+(** Append a packet to [flow]'s FIFO on link [(src, dst)]. [weight]
+    (default 1, must be >= 1) sets the flow's share on that link; the
+    value at first enqueue wins while the flow stays active. Raises
+    [Invalid_argument] when the link is not in the graph. *)
+
+val flush_flow : t -> int -> unit
+(** Discard every queued packet of the flow on every link (rollback of a
+    cancelled instance). In-flight packets already selected are the
+    caller's concern. *)
+
+val queued : t -> int
+(** Total packets currently queued across all links. *)
+
+val queued_bits : t -> int
+(** Total payload bits currently queued across all links. *)
+
+val select : t -> (int * (int * Packet.t) list) list
+(** Dequeue one round of traffic: for each link, up to the round budget in
+    DRR order (plus the force-send progress rule). Returns per-source
+    outboxes [(src, [(dst, packet); ...])] ready for
+    [Transport.round]. Empty when nothing is queued. *)

@@ -499,3 +499,9 @@ let factory ?delays () : Transport.factory =
  fun ~obs ~keep_events g ->
   transport (create ?delays ~obs ~keep_events g ~bits:Packet.bits)
 
+(* Evaluated once at module initialisation: the shared default every
+   driver-level [?transport] argument points at, so "which backend runs
+   when the caller says nothing" is decided in exactly one place instead
+   of a fresh [factory ()] closure per call site. *)
+let default_factory : Transport.factory = factory ()
+

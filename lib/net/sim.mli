@@ -160,5 +160,11 @@ val factory :
   ?delays:(int * int -> int) -> unit -> Transport.factory
 (** The synchronous reference {!Transport.factory}: each call creates a
     fresh {!create}d simulator over the given graph with
-    [~bits:Packet.bits] and packs it. This is the default backend of
-    [Nab.run] and [Pipelined.run]. *)
+    [~bits:Packet.bits] and packs it. *)
+
+val default_factory : Transport.factory
+(** [factory ()], evaluated once at module initialisation — the single
+    shared value behind every driver-level [?transport] default
+    ([Nab.create_session], [Pipelined.run], [Nab_stream.create], the
+    CLIs), so the no-argument backend choice lives in exactly one
+    place. *)

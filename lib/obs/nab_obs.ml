@@ -480,6 +480,26 @@ let metrics c =
     List.sort (fun a b -> compare a.m_name b.m_name) ms
   end
 
+let find_metric c name =
+  if not c.on then None
+  else begin
+    Mutex.lock c.lock;
+    let a = Hashtbl.find_opt c.table name in
+    Mutex.unlock c.lock;
+    Option.map
+      (fun a ->
+        {
+          m_name = name;
+          m_kind = a.a_kind;
+          m_count = a.a_count;
+          m_sum = a.a_sum;
+          m_min = a.a_min;
+          m_max = a.a_max;
+          m_last = a.a_last;
+        })
+      a
+  end
+
 let close c =
   if c.on then begin
     Mutex.lock c.lock;

@@ -184,6 +184,12 @@ val observe : ctx -> string -> float -> unit
 val metrics : ctx -> metric list
 (** Aggregated so far, sorted by name (empty for {!null}). *)
 
+val find_metric : ctx -> string -> metric option
+(** One metric by exact name, without materializing the whole sorted list
+    — how a harness reads a single counter or gauge (say
+    ["stream.goodput"]) off a live context mid-run. [None] for {!null} or
+    a name never recorded. *)
+
 val close : ctx -> unit
 (** Flush metrics to every sink, then close the sinks. Idempotent; a
     no-op on {!null}. The context must not be used afterwards. *)
