@@ -1,0 +1,300 @@
+(* Loopback benchmark for the process-per-node socket backend
+   (Nab_net.Socket): real wall-clock time and goodput for broadcasting q
+   values of L bits across n OS processes, against the in-process
+   event-loop backend (Async_sim, zero faults) on the identical topology,
+   emitting a machine-readable BENCH_socket.json.
+
+   Usage:
+     dune exec bench/socket.exe                   # sweep + BENCH_socket.json
+     dune exec bench/socket.exe -- --out F.json   # choose the artifact path
+     dune exec bench/socket.exe -- --quick        # smaller L and Q
+     dune exec bench/socket.exe -- --check        # correctness-only gate:
+                                                  # socket == sync run
+                                                  # reports at zero faults
+     dune exec bench/socket.exe -- --verify-artifact F.json
+                                                  # fail unless the artifact
+                                                  # carries every required
+                                                  # (topology, backend) row
+
+   Unlike the async degradation bench, the headline numbers here are REAL
+   seconds — fork/exec, socket syscalls, frame codec — so the committed
+   artifact is a trajectory, not a byte-reproducible value: CI re-verifies
+   its grid (presence-only, like BENCH_kernels.json) but never diffs
+   regenerated wall-clock numbers. The simulated-time fields (sim_wall,
+   the run report content) ARE deterministic, and --check holds the socket
+   backend's reports byte-identical to the synchronous simulator's.
+
+   On platforms where the backend cannot run at all (no fork), --check and
+   the sweep skip gracefully via Socket.available, recording the reason. *)
+
+open Nab_graph
+open Nab_core
+open Nab_net
+
+let topologies =
+  [
+    ("complete", Gen.complete ~n:4 ~cap:2);
+    ("twin", Gen.twin_cliques ~half:3 ~spoke_cap:8 ~intra_cap:8 ~cross_cap:1);
+    ("star", Gen.star_mesh ~n:6 ~spoke_cap:4 ~mesh_cap:1);
+  ]
+
+let backends = [ "socket"; "async" ]
+
+(* ------------------------------ running ------------------------------ *)
+
+let adversary name =
+  match Adversary.find name with
+  | Some a -> a
+  | None -> invalid_arg ("unknown adversary " ^ name)
+
+(* nab_cli's input derivation, so runs here replay its seeds exactly. *)
+let inputs_for ~l ~seed =
+  let rng = Random.State.make [| seed; 0x1ca11 |] in
+  let tbl = Hashtbl.create 8 in
+  fun k ->
+    match Hashtbl.find_opt tbl k with
+    | Some v -> v
+    | None ->
+        let v = Bitvec.random l rng in
+        Hashtbl.add tbl k v;
+        v
+
+let run_nab ~transport ~adv g ~l ~q ~seed =
+  let config = Nab.config ~f:1 ~l_bits:l ~seed () in
+  Nab.run ~transport ~g ~config ~adversary:(adversary adv)
+    ~inputs:(inputs_for ~l ~seed) ~q ()
+
+(* ------------------------------- sweep ------------------------------- *)
+
+module Json = Nab_obs.Json
+
+(* One (topology, backend) cell: q broadcasts of L bits, timed in real
+   seconds around the whole run (transport setup included — for the socket
+   backend that is the fork/exec fleet per instance, a real cost of the
+   design). Goodput is delivered payload over real time. *)
+let cell ~quick (name, g) backend =
+  let l = if quick then 256 else 1024 in
+  let q = if quick then 2 else 4 in
+  let seed = 7 in
+  let transport =
+    match backend with
+    | "socket" -> Socket.factory ()
+    | "async" -> Async_sim.factory ~spec:Async_sim.no_faults ()
+    | other -> invalid_arg ("unknown backend " ^ other)
+  in
+  let base =
+    [
+      ("name", Json.Str name);
+      ("backend", Json.Str backend);
+      ("n", Json.Int (Digraph.num_vertices g));
+      ("l_bits", Json.Int l);
+      ("q", Json.Int q);
+    ]
+  in
+  match
+    let t0 = Unix.gettimeofday () in
+    let r = run_nab ~transport ~adv:"none" g ~l ~q ~seed in
+    let dt = Unix.gettimeofday () -. t0 in
+    (r, dt)
+  with
+  | r, dt ->
+      Json.Obj
+        (base
+        @ [
+            ("wall_s", Json.float dt);
+            ("goodput_bps", Json.float (float_of_int (l * q) /. dt));
+            ("sim_wall", Json.float r.Nab.total_wall);
+            ("sim_throughput", Json.float r.Nab.throughput_wall);
+            ("agree", Json.Bool (Nab.fault_free_agree r));
+          ])
+  | exception e -> Json.Obj (base @ [ ("error", Json.Str (Printexc.to_string e)) ])
+
+let sweep ~quick ~out =
+  let socket_ok =
+    match Socket.available () with
+    | Ok () -> None
+    | Error reason ->
+        Printf.printf "socket backend unavailable (%s): recording skip rows\n%!"
+          reason;
+        Some reason
+  in
+  let results =
+    List.concat_map
+      (fun topo ->
+        List.map
+          (fun backend ->
+            match (backend, socket_ok) with
+            | "socket", Some reason ->
+                let name, _ = topo in
+                Json.Obj
+                  [
+                    ("name", Json.Str name);
+                    ("backend", Json.Str backend);
+                    ("error", Json.Str ("socket backend unavailable: " ^ reason));
+                  ]
+            | _ -> cell ~quick topo backend)
+          backends)
+      topologies
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "nab-bench-socket/1");
+        ( "config",
+          Json.Obj
+            [
+              ("quick", Json.Bool quick);
+              ("l_bits", Json.Int (if quick then 256 else 1024));
+              ("q", Json.Int (if quick then 2 else 4));
+              ("seed", Json.Int 7);
+            ] );
+        ("results", Json.List results);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun row ->
+      let get k p = Option.bind (Json.member k row) p in
+      match (get "name" Json.get_string, get "backend" Json.get_string) with
+      | Some name, Some backend -> (
+          match (get "wall_s" Json.get_float, get "goodput_bps" Json.get_float) with
+          | Some w, Some gp ->
+              Printf.printf "  %-8s %-6s wall %.3fs goodput %.0f bits/s\n" name
+                backend w gp
+          | _ ->
+              Printf.printf "  %-8s %-6s ERROR %s\n" name backend
+                (Option.value ~default:"?" (get "error" Json.get_string)))
+      | _ -> ())
+    results;
+  Printf.printf "wrote %s (%d rows)\n" out (List.length results)
+
+(* ------------------------------- check ------------------------------- *)
+
+(* The differential gate: at zero faults the socket backend — real
+   processes, real sockets, the byte codec on every message — must
+   reproduce the synchronous run report byte for byte: decisions,
+   disputes, dispute-control count, per-phase timings, link bits. *)
+let run_checks () =
+  (match Socket.available () with
+  | Ok () -> ()
+  | Error reason ->
+      (* No fork on this platform: the gate cannot run. Skip loudly rather
+         than fail — where the probe succeeds, failures below are real. *)
+      Printf.printf "socket check: SKIPPED (%s)\n" reason;
+      exit 0);
+  let cases = ref 0 in
+  let failures = ref 0 in
+  let check label ok =
+    incr cases;
+    if not ok then begin
+      incr failures;
+      Printf.printf "FAIL %s\n" label
+    end
+  in
+  let report_json r = Json.to_string (Report.run_to_json r) in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun adv ->
+          let run transport = run_nab ~transport ~adv g ~l:256 ~q:2 ~seed:7 in
+          check
+            (Printf.sprintf "%s/%s socket == sync" name adv)
+            (report_json (run (Sim.factory ()))
+            = report_json (run (Socket.factory ()))))
+        [ "none"; "ec-liar"; "chaos:7" ])
+    topologies;
+  (* TCP loopback exercises a different socket family and the nonblocking
+     connect/TCP_NODELAY paths; one case keeps it honest. *)
+  check "complete/none socket-tcp == sync"
+    (let g = Gen.complete ~n:4 ~cap:2 in
+     report_json (run_nab ~transport:(Sim.factory ()) ~adv:"none" g ~l:256 ~q:2 ~seed:7)
+     = report_json
+         (run_nab ~transport:(Socket.factory ~mode:`Tcp ()) ~adv:"none" g ~l:256
+            ~q:2 ~seed:7));
+  Printf.printf "socket check: %d cases, %d failures\n" !cases !failures;
+  if !failures > 0 then exit 1
+
+(* -------------------------- artifact verify -------------------------- *)
+
+(* Presence-only gate, mirroring kernels.exe and async.exe: every
+   (topology, backend) cell of the sweep grid must exist and carry either
+   a goodput or a recorded error — no silent shrinkage of the grid. The
+   wall-clock values themselves are machine-dependent and never diffed. *)
+let verify_artifact path =
+  let contents =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match Json.of_string contents with
+  | Error e ->
+      Printf.eprintf "verify-artifact: %s: parse error: %s\n" path e;
+      exit 1
+  | Ok json ->
+      let rows =
+        match Option.bind (Json.member "results" json) Json.get_list with
+        | Some l -> l
+        | None ->
+            Printf.eprintf "verify-artifact: %s: no results array\n" path;
+            exit 1
+      in
+      let present name backend =
+        List.exists
+          (fun row ->
+            let get k p = Option.bind (Json.member k row) p in
+            get "name" Json.get_string = Some name
+            && get "backend" Json.get_string = Some backend
+            && (get "goodput_bps" Json.get_float <> None
+               || get "error" Json.get_string <> None))
+          rows
+      in
+      let missing = ref [] in
+      List.iter
+        (fun (name, _) ->
+          List.iter
+            (fun b ->
+              if not (present name b) then
+                missing := Printf.sprintf "%s backend=%s" name b :: !missing)
+            backends)
+        topologies;
+      if !missing <> [] then begin
+        Printf.eprintf "verify-artifact: %s: missing rows:\n" path;
+        List.iter (Printf.eprintf "  %s\n") (List.rev !missing);
+        exit 1
+      end;
+      Printf.printf "verify-artifact: %s: all %d required rows present\n" path
+        (List.length topologies * List.length backends)
+
+(* ------------------------------- main ------------------------------- *)
+
+let () =
+  (* Must run before anything else: when this binary is re-executed as a
+     socket-backend node process, it becomes the node's event loop and
+     never returns. *)
+  Socket.exec_node_if_requested ();
+  let args = Array.to_list Sys.argv in
+  let out =
+    let rec find = function
+      | "--out" :: path :: _ -> path
+      | _ :: rest -> find rest
+      | [] -> "BENCH_socket.json"
+    in
+    find args
+  in
+  let verify_path =
+    let rec find = function
+      | "--verify-artifact" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  match verify_path with
+  | Some path -> verify_artifact path
+  | None ->
+      if List.mem "--check" args then run_checks ()
+      else sweep ~quick:(List.mem "--quick" args) ~out

@@ -48,11 +48,12 @@ let scenarios_arg =
 let net_backend_arg =
   Arg.(
     value
-    & opt (enum [ ("sync", `Sync); ("async", `Async) ]) `Sync
+    & opt (enum [ ("sync", `Sync); ("async", `Async); ("socket", `Socket) ]) `Sync
     & info [ "backend" ] ~docv:"NET"
         ~doc:
-          "Network backend for every scenario: sync (default) or async \
-           (event-driven, with injectable faults).")
+          "Network backend for every scenario: sync (default), async \
+           (event-driven, with injectable faults) or socket (one OS process \
+           per node over real Unix-domain sockets).")
 
 let latency_arg =
   Arg.(
@@ -86,15 +87,21 @@ let fault_seed_arg =
         ~doc:"Seed for the async fault randomness (replay key).")
 
 let backend_of_flags backend latency jitter reorder crash fault_seed =
+  let reject_faults () =
+    if latency <> "zero" || jitter <> 0.0 || reorder <> "" || crash <> ""
+       || fault_seed <> 0
+    then
+      failwith
+        "fault flags (--latency/--jitter/--reorder/--crash/--fault-seed) \
+         require --backend async"
+  in
   match backend with
   | `Sync ->
-      if latency <> "zero" || jitter <> 0.0 || reorder <> "" || crash <> ""
-         || fault_seed <> 0
-      then
-        failwith
-          "fault flags (--latency/--jitter/--reorder/--crash/--fault-seed) \
-           require --backend async"
-      else Scenario.Sync
+      reject_faults ();
+      Scenario.Sync
+  | `Socket ->
+      reject_faults ();
+      Scenario.Socket
   | `Async -> (
       match
         Nab_net.Async_sim.spec_of_flags ~latency ~jitter ~reorder ~crash
@@ -153,7 +160,8 @@ let print_failure oc (row : Runner.row) =
     s.Scenario.id;
   match Shrink.cli_command s ~graph_file:"network.graph" with
   | Some cmd ->
-      Printf.fprintf oc "  rerun (after `campaign.exe export-graph`, or from the repro dir): %s\n" cmd
+      Printf.fprintf oc
+        "  rerun (from a shrink repro dir, which contains network.graph): %s\n" cmd
   | None -> ()
 
 let run_cmd =
@@ -187,6 +195,18 @@ let run_cmd =
              machine-readable form of the exit footer.")
   in
   let run quick soak seed scenarios_file backend out baseline shrink_dir cache_stats =
+    (match backend with
+    | Scenario.Socket -> (
+        (* Platforms without fork cannot run socket fleets at all; skip the
+           whole campaign loudly instead of erroring every scenario. Where
+           the probe succeeds, socket failures below are real failures. *)
+        match Nab_net.Socket.available () with
+        | Ok () -> ()
+        | Error reason ->
+            Printf.eprintf "campaign: socket backend unavailable (%s): skipping\n%!"
+              reason;
+            exit 0)
+    | _ -> ());
     let scenarios = apply_backend backend (select quick soak seed scenarios_file) in
     Printf.eprintf "campaign: %d scenarios (%d jobs)\n%!" (List.length scenarios)
       (Nab_util.Pool.jobs ());
@@ -302,14 +322,33 @@ let run_cmd =
 (* ---- list ---- *)
 
 let list_cmd =
-  let list quick soak seed scenarios_file backend =
+  let commands_arg =
+    Arg.(
+      value & flag
+      & info [ "commands" ]
+          ~doc:
+            "Also print each scenario's exact nab_cli replay command \
+             (including the --backend flag for non-sync scenarios), or '-' \
+             when the scenario has no flag form (disabled hooks, registered \
+             adversaries, partitioned fault specs) and only \
+             $(b,campaign replay) can reproduce it.")
+  in
+  let list quick soak seed scenarios_file backend commands =
     List.iter
-      (fun (s : Scenario.t) -> print_endline s.Scenario.id)
+      (fun (s : Scenario.t) ->
+        if commands then
+          Printf.printf "%s\t%s\n" s.Scenario.id
+            (match Shrink.cli_command s ~graph_file:"network.graph" with
+            | Some cmd -> cmd
+            | None -> "-")
+        else print_endline s.Scenario.id)
       (apply_backend backend (select quick soak seed scenarios_file));
     0
   in
   let term =
-    Term.(const list $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ backend_term)
+    Term.(
+      const list $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ backend_term
+      $ commands_arg)
   in
   Cmd.v (Cmd.info "list" ~doc:"Print the scenario ids of a campaign.") term
 
@@ -440,6 +479,10 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc:"Run a single scenario JSON file and report its checks.") term
 
 let () =
+  (* Must run before anything else: when this binary is re-executed as a
+     socket-backend node process, it becomes the node's event loop and
+     never returns. In a normal invocation it installs the re-exec hook. *)
+  Nab_net.Socket.exec_node_if_requested ();
   let doc = "NAB scenario campaigns: run, diff, shrink, replay" in
   let info = Cmd.info "campaign" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info [ run_cmd; list_cmd; diff_cmd; shrink_cmd; replay_cmd ]))

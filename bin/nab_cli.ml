@@ -114,11 +114,13 @@ let with_obs ~trace ~metrics ~sample f =
 let net_backend_arg =
   Arg.(
     value
-    & opt (enum [ ("sync", `Sync); ("async", `Async) ]) `Sync
+    & opt (enum [ ("sync", `Sync); ("async", `Async); ("socket", `Socket) ]) `Sync
     & info [ "backend" ] ~docv:"NET"
         ~doc:
-          "Network backend: sync (the round-synchronous simulator, default) \
-           or async (event-driven, with injectable faults).")
+          "Network backend: sync (the round-synchronous simulator, default), \
+           async (event-driven, with injectable faults) or socket (one OS \
+           process per node over real Unix-domain sockets; zero-fault runs \
+           report identically to sync).")
 
 let latency_arg =
   Arg.(
@@ -155,14 +157,22 @@ let fault_seed_arg =
         ~doc:"Seed for the async fault randomness (replay key).")
 
 (* One Transport.factory out of the six flags; rejects fault flags that
-   would be silently ignored on the sync backend. *)
+   would be silently ignored on the sync and socket backends. *)
 let transport_of_flags backend latency jitter reorder crash fault_seed =
+  let reject_faults () =
+    if latency <> "zero" || jitter <> 0.0 || reorder <> "" || crash <> ""
+       || fault_seed <> 0
+    then
+      invalid_arg
+        "fault flags (--latency/--jitter/--reorder/--crash/--fault-seed) require --backend async"
+  in
   match backend with
   | `Sync ->
-      if latency <> "zero" || jitter <> 0.0 || reorder <> "" || crash <> ""
-         || fault_seed <> 0
-      then invalid_arg "fault flags (--latency/--jitter/--reorder/--crash/--fault-seed) require --backend async"
-      else Nab_net.Sim.default_factory
+      reject_faults ();
+      Nab_net.Sim.default_factory
+  | `Socket ->
+      reject_faults ();
+      Nab_net.Socket.factory ()
   | `Async -> (
       match
         Nab_net.Async_sim.spec_of_flags ~latency ~jitter ~reorder ~crash
@@ -499,6 +509,10 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a network family.") term
 
 let () =
+  (* Must run before anything else: when this binary is re-executed as a
+     socket-backend node process, it becomes the node's event loop and
+     never returns. In a normal invocation it installs the re-exec hook. *)
+  Nab_net.Socket.exec_node_if_requested ();
   let doc = "Network-Aware Byzantine broadcast (Liang & Vaidya, PODC 2012)" in
   let info = Cmd.info "nab" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info

@@ -336,6 +336,10 @@ let session_broadcast ses input0 =
         (* keep_events: dispute control draws honest claims from the
            delivery trace (Dispute.honest_claims reads events_of_phase). *)
         let net = ses.ses_transport ~obs ~keep_events:true ses.ses_g in
+        (* Whatever the instance's fate (including a raised oracle), the
+           backend's external resources are released — the socket backend
+           holds node processes and fds per instance. *)
+        Fun.protect ~finally:(fun () -> Transport.close net) @@ fun () ->
         (* ---- Phase 1: unreliable broadcast over the tree packing ---- *)
         let received =
           Phase1.run ~net ~phase:"phase1" ~trees:plan.plan_trees ~source ~value ~faulty

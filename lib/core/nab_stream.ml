@@ -785,9 +785,12 @@ let report t =
     flag_batch = t.flag_batch;
   }
 
+let close t = Transport.close t.net
+
 let run ?obs ?transport ?window ?flag_batch ?quantum ~g ~config ~adversary ~inputs
     ~q () =
   let t = create ?obs ?transport ?window ?flag_batch ?quantum ~g ~config ~adversary () in
+  Fun.protect ~finally:(fun () -> close t) @@ fun () ->
   for k = 1 to q do
     ignore (submit t (inputs k))
   done;

@@ -105,6 +105,11 @@ val session : t -> Nab.session
 val wall : t -> float
 (** Simulated time elapsed on the shared fabric so far. *)
 
+val close : t -> unit
+(** Release the shared transport's external resources
+    ({!Nab_net.Transport.close}); call when done with a hand-driven
+    session. {!run} closes its own. *)
+
 type report = {
   run : Nab.run_report;  (** the session aggregate, ids in stream order *)
   wall : float;  (** total simulated time on the shared fabric *)

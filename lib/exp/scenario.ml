@@ -25,7 +25,7 @@ type topo =
 
 type adversary_spec = { adv : string; disabled : string list }
 
-type backend = Sync | Async of Nab_net.Async_sim.fault_spec
+type backend = Sync | Async of Nab_net.Async_sim.fault_spec | Socket
 
 type t = {
   id : string;
@@ -92,7 +92,8 @@ let derive_id s =
     | Some w -> Printf.sprintf "+stream-w%d" w)
     (match s.backend with
     | Sync -> ""
-    | Async spec -> "+async-" ^ Nab_net.Async_sim.spec_label spec)
+    | Async spec -> "+async-" ^ Nab_net.Async_sim.spec_label spec
+    | Socket -> "+socket")
 
 (* ---- construction ---- *)
 
@@ -127,6 +128,7 @@ let transport_factory s =
   match s.backend with
   | Sync -> Nab_net.Sim.default_factory
   | Async spec -> Nab_net.Async_sim.factory ~spec ()
+  | Socket -> Nab_net.Socket.factory ()
 
 (* ---- materialization ---- *)
 
@@ -313,7 +315,8 @@ let to_json s : Json.t =
     @ (match s.stream with None -> [] | Some w -> [ ("stream", Json.Int w) ])
     @ match s.backend with
       | Sync -> []
-      | Async spec -> [ ("backend", fault_spec_to_json spec) ])
+      | Async spec -> [ ("backend", fault_spec_to_json spec) ]
+      | Socket -> [ ("backend", Json.Str "socket") ])
 
 (* Strict field accessors shared by the decoders. *)
 let ( let* ) = Result.bind
@@ -505,9 +508,13 @@ let of_json j =
         | None -> Error "field \"stream\" has the wrong type")
   in
   let* backend =
-    (* absent = Sync: pre-backend scenario JSON decodes unchanged *)
+    (* absent = Sync: pre-backend scenario JSON decodes unchanged; the
+       string "socket" selects the process-per-node backend, an object is
+       an async fault spec *)
     match Json.member "backend" j with
     | None -> Ok Sync
+    | Some (Json.Str "socket") -> Ok Socket
+    | Some (Json.Str other) -> Error (Printf.sprintf "unknown backend %S" other)
     | Some bj ->
         let* spec = fault_spec_of_json bj in
         Ok (Async spec)

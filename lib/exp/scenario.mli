@@ -44,12 +44,15 @@ type topo =
   | Fig2
   | Explicit of { vertices : int list; edges : (int * int * int) list }
 
-type backend = Sync | Async of Nab_net.Async_sim.fault_spec
+type backend = Sync | Async of Nab_net.Async_sim.fault_spec | Socket
 (** Which network backend the scenario runs on: the synchronous reference
-    simulator (the default — all pre-existing scenarios) or the
-    event-driven {!Nab_net.Async_sim} with the given injected-fault spec.
-    The spec is content: it is part of the derived id and the JSON codec,
-    so async runs are replayable and diffable like sync ones. *)
+    simulator (the default — all pre-existing scenarios), the
+    event-driven {!Nab_net.Async_sim} with the given injected-fault spec,
+    or the process-per-node {!Nab_net.Socket} backend (real sockets; the
+    zero-fault differential gate holds its reports identical to {!Sync}).
+    The backend is content: it is part of the derived id and the JSON
+    codec, so async and socket runs are replayable and diffable like sync
+    ones. *)
 
 type adversary_spec = { adv : string; disabled : string list }
 (** An adversary by name ({!Nab_core.Adversary.find} vocabulary, so
@@ -157,9 +160,10 @@ val to_json : t -> Nab_obs.Json.t
 val of_json : Nab_obs.Json.t -> (t, string) result
 (** Lossless round-trip: [of_json (to_json s) = Ok s]. Every field is
     type-checked; the error names the offending field. The ["backend"]
-    field is emitted only for async scenarios and defaults to {!Sync} when
-    absent, so pre-backend scenario JSON (committed baselines, repro
-    bundles) encodes and decodes byte-identically. *)
+    field is emitted only for non-sync scenarios (a fault-spec object for
+    async, the string ["socket"] for the socket backend) and defaults to
+    {!Sync} when absent, so pre-backend scenario JSON (committed
+    baselines, repro bundles) encodes and decodes byte-identically. *)
 
 val of_string : string -> (t, string) result
 

@@ -155,6 +155,7 @@ let backend_flag = function `Eig -> "eig" | `Phase_king -> "phase-king"
 let fault_flags (s : Scenario.t) =
   match s.Scenario.backend with
   | Scenario.Sync -> Some ""
+  | Scenario.Socket -> Some " --backend socket"
   | Scenario.Async spec ->
       if spec.partitions <> [] then None
       else begin
@@ -187,11 +188,20 @@ let cli_command (s : Scenario.t) ~graph_file =
     match (Adversary.find s.adversary.adv, fault_flags s) with
     | None, _ | _, None -> None
     | Some _, Some faults ->
+        (* Streamed scenarios replay through the session layer with the
+           runner's exact knobs (window; flag batch stays the default) —
+           without these flags the command would replay serially and miss
+           stream-only violations. *)
+        let stream =
+          match s.stream with
+          | None -> ""
+          | Some w -> Printf.sprintf " --stream %d --stream-window %d" s.q w
+        in
         Some
           (Printf.sprintf
-             "dune exec bin/nab_cli.exe -- run -g @%s -f %d -l %d --m %d --seed %d -a %s -q %d --flag-backend %s%s"
+             "dune exec bin/nab_cli.exe -- run -g @%s -f %d -l %d --m %d --seed %d -a %s -q %d --flag-backend %s%s%s"
              graph_file s.f s.l_bits s.m s.seed s.adversary.adv s.q
-             (backend_flag s.flag_backend) faults)
+             (backend_flag s.flag_backend) stream faults)
 
 let replay_command ~scenario_file =
   Printf.sprintf "dune exec bin/campaign.exe -- replay %s" scenario_file

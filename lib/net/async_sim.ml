@@ -450,6 +450,7 @@ module Async_transport = struct
   let events_of_phase = events_of_phase
   let keeps_events = keeps_events
   let rounds_run = rounds_run
+  let close _ = ()
 end
 
 let transport (t : t) : Transport.t = Transport.pack (module Async_transport) t

@@ -18,3 +18,17 @@ val bits : t -> int
 
 val direct : proto:string -> origin:int -> dst:int -> Wire.payload -> t
 val pp : Format.formatter -> t -> unit
+
+(** {1 Byte codec}
+
+    Envelope + payload in {!Wire}'s binary format, for {!Socket}'s framed
+    links. Same totality contract as {!Wire.decode}: any byte string
+    returns [Ok] or [Error], bounded allocation, no exceptions. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val encode_into : Buffer.t -> t -> unit
+val decode_from : Wire.Codec.reader -> t
+(** Raises {!Wire.Codec.Bad} on malformed input (composite codecs catch at
+    their boundary). *)

@@ -490,6 +490,7 @@ module Packet_transport = struct
 
   let keeps_events = keeps_events
   let rounds_run = rounds_run
+  let close _ = ()
 end
 
 let transport (t : Packet.t t) : Transport.t =

@@ -36,6 +36,7 @@ module type TRANSPORT = sig
   val events_of_phase : t -> string -> event list
   val keeps_events : t -> bool
   val rounds_run : t -> int
+  val close : t -> unit
 end
 
 type t = T : (module TRANSPORT with type t = 'a) * 'a -> t
@@ -54,5 +55,6 @@ let utilization (T ((module M), h)) = M.utilization h
 let events_of_phase (T ((module M), h)) = M.events_of_phase h
 let keeps_events (T ((module M), h)) = M.keeps_events h
 let rounds_run (T ((module M), h)) = M.rounds_run h
+let close (T ((module M), h)) = M.close h
 
 type factory = obs:Nab_obs.ctx -> keep_events:bool -> Nab_graph.Digraph.t -> t

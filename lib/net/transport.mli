@@ -97,6 +97,14 @@ module type TRANSPORT = sig
 
   val keeps_events : t -> bool
   val rounds_run : t -> int
+
+  val close : t -> unit
+  (** Release whatever the backend holds outside the OCaml heap — OS
+      processes, sockets, file descriptors. Idempotent; a no-op for the
+      in-process backends ({!Sim}, {!Async_sim}). Session drivers call it
+      when an instance's transport goes out of scope, even on exceptions;
+      using any other operation after [close] is undefined (the socket
+      backend raises). *)
 end
 
 type t = T : (module TRANSPORT with type t = 'a) * 'a -> t
@@ -123,6 +131,7 @@ val utilization : t -> ((int * int) * float) list
 val events_of_phase : t -> string -> event list
 val keeps_events : t -> bool
 val rounds_run : t -> int
+val close : t -> unit
 
 type factory = obs:Nab_obs.ctx -> keep_events:bool -> Nab_graph.Digraph.t -> t
 (** How sessions create per-instance transports: {!Nab} and [Pipelined]
