@@ -18,6 +18,18 @@ let jobs_term =
 
 let with_jobs term = Term.(const (fun () r -> r) $ jobs_term $ term)
 
+let plan_cache_cap_arg =
+  let doc =
+    "Bound every plan/witness cache to $(docv) entries (LRU eviction). \
+     Unbounded by default; set this for open-ended soaks so planning \
+     memory stays flat. Eviction only changes when a plan recomputes, \
+     never a result."
+  in
+  Arg.(value & opt int 0 & info [ "plan-cache-cap" ] ~docv:"N" ~doc)
+
+let apply_plan_cache_cap cap =
+  if cap > 0 then Nab_util.Plan_cache.set_cap_all (Some cap)
+
 (* ---- campaign selection (shared by run/list) ---- *)
 
 let quick_arg =
@@ -194,7 +206,47 @@ let run_cmd =
              rate, entries per cache) as a JSON object to $(docv) — the \
              machine-readable form of the exit footer.")
   in
-  let run quick soak seed scenarios_file backend out baseline shrink_dir cache_stats =
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Run into a sharded on-disk result store instead of a flat \
+             JSONL file: scenarios already present (same id and --salt) \
+             are skipped, so a killed run resumes and an unchanged rerun \
+             is near-free. The store is sealed (canonical id-sorted \
+             shards) when the campaign completes.")
+  in
+  let salt_arg =
+    Arg.(
+      value & opt string "v1"
+      & info [ "salt" ] ~docv:"SALT"
+          ~doc:
+            "Code-version salt for --store: bump it when protocol or \
+             oracle changes invalidate old rows — a store with a \
+             different salt is discarded and restarted empty.")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:
+            "With --store: run at most $(docv) not-yet-stored scenarios \
+             this invocation (chunked soak dispatch; the next invocation \
+             resumes).")
+  in
+  let commit_every_arg =
+    Arg.(
+      value
+      & opt int Runner.default_commit_rows
+      & info [ "commit-every" ] ~docv:"ROWS"
+          ~doc:"With --store: commit (fsync + manifest) every $(docv) rows.")
+  in
+  let run quick soak seed scenarios_file backend out baseline shrink_dir cache_stats
+      store_dir salt limit commit_every plan_cache_cap =
+    apply_plan_cache_cap plan_cache_cap;
     (match backend with
     | Scenario.Socket -> (
         (* Platforms without fork cannot run socket fleets at all; skip the
@@ -210,110 +262,153 @@ let run_cmd =
     let scenarios = apply_backend backend (select quick soak seed scenarios_file) in
     Printf.eprintf "campaign: %d scenarios (%d jobs)\n%!" (List.length scenarios)
       (Nab_util.Pool.jobs ());
-    let rows =
-      Runner.run_campaign
-        ~on_row:(fun i row ->
-          Printf.eprintf "[%d/%d] %s %s\n%!" (i + 1) (List.length scenarios)
-            (match row.Runner.outcome with
-            | Runner.Pass -> "ok  "
-            | Runner.Violation -> "FAIL"
-            | Runner.Error _ -> "ERR ")
-            row.Runner.scenario.Scenario.id)
-        scenarios
+    let progress total i row =
+      Printf.eprintf "[%d/%s] %s %s\n%!" (i + 1) total
+        (match row.Runner.outcome with
+        | Runner.Pass -> "ok  "
+        | Runner.Violation -> "FAIL"
+        | Runner.Error _ -> "ERR ")
+        row.Runner.scenario.Scenario.id
     in
-    (if out = "-" then Runner.write_jsonl stdout rows
-     else
-       let oc = open_out out in
-       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Runner.write_jsonl oc rows));
     (* Cache amortization footer: scenarios sharing a topology should plan
        it once, so a sinking hit rate here is a perf regression even while
        every oracle still passes. *)
-    let cache_stats_rows = Nab_util.Plan_cache.global_stats () in
-    List.iter
-      (fun (name, (s : Nab_util.Plan_cache.stats)) ->
-        let total = s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses in
-        if total > 0 then
-          Printf.eprintf
-            "plan cache %-24s %d hits / %d misses (%.1f%% hit rate, %d entries)\n%!"
-            name s.Nab_util.Plan_cache.hits s.Nab_util.Plan_cache.misses
-            (100.0 *. float_of_int s.Nab_util.Plan_cache.hits /. float_of_int total)
-            s.Nab_util.Plan_cache.entries)
-      cache_stats_rows;
-    (match cache_stats with
-    | None -> ()
-    | Some path ->
-        let module Json = Nab_obs.Json in
-        let json =
-          Json.Obj
-            (List.map
-               (fun (name, (s : Nab_util.Plan_cache.stats)) ->
-                 let total =
-                   s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses
-                 in
-                 ( name,
-                   Json.Obj
-                     [
-                       ("hits", Json.Int s.Nab_util.Plan_cache.hits);
-                       ("misses", Json.Int s.Nab_util.Plan_cache.misses);
-                       ( "hit_rate",
-                         Json.float
-                           (if total = 0 then 0.0
-                            else
-                              float_of_int s.Nab_util.Plan_cache.hits
-                              /. float_of_int total) );
-                       ("entries", Json.Int s.Nab_util.Plan_cache.entries);
-                     ] ))
-               cache_stats_rows)
-        in
-        let oc = open_out path in
-        output_string oc (Json.to_string json);
-        output_char oc '\n';
-        close_out oc);
-    let bad = Runner.violations rows in
-    List.iter (print_failure stderr) bad;
-    (match shrink_dir with
-    | Some dir ->
-        List.iter
-          (fun (row : Runner.row) ->
-            match Shrink.shrink row.Runner.scenario with
-            | None -> ()
-            | Some r ->
-                let sub = Filename.concat dir r.Shrink.original.Scenario.id in
-                let sub = String.map (fun c -> if c = '/' then '_' else c) sub in
-                let files = Shrink.write_repro ~dir:sub r in
-                Printf.eprintf "shrunk %s -> %s (key %s, %d runs): %s\n%!"
-                  r.Shrink.original.Scenario.id r.Shrink.minimized.Scenario.id r.Shrink.key
-                  r.Shrink.runs (String.concat ", " files))
-          bad
-    | None -> ());
-    let base_ok =
-      match baseline with
-      | None -> true
-      | Some path -> (
-          match Runner.read_jsonl path with
-          | Error e ->
-              Printf.eprintf "cannot read baseline: %s\n" e;
-              false
-          | Ok base ->
-              let d = Runner.diff_rows ~baseline:base ~current:rows in
-              if Runner.diff_is_empty d then begin
-                Printf.eprintf "baseline: %d rows, no differences\n" (List.length base);
-                true
-              end
-              else begin
-                Format.eprintf "baseline differences:@.%a" Runner.pp_diff d;
-                false
-              end)
+    let cache_footer () =
+      let cache_stats_rows = Nab_util.Plan_cache.global_stats () in
+      List.iter
+        (fun (name, (s : Nab_util.Plan_cache.stats)) ->
+          let total = s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses in
+          if total > 0 then
+            Printf.eprintf
+              "plan cache %-24s %d hits / %d misses (%.1f%% hit rate, %d entries, %d evicted)\n%!"
+              name s.Nab_util.Plan_cache.hits s.Nab_util.Plan_cache.misses
+              (100.0 *. float_of_int s.Nab_util.Plan_cache.hits /. float_of_int total)
+              s.Nab_util.Plan_cache.entries s.Nab_util.Plan_cache.evictions)
+        cache_stats_rows;
+      match cache_stats with
+      | None -> ()
+      | Some path ->
+          let module Json = Nab_obs.Json in
+          let json =
+            Json.Obj
+              (List.map
+                 (fun (name, (s : Nab_util.Plan_cache.stats)) ->
+                   let total =
+                     s.Nab_util.Plan_cache.hits + s.Nab_util.Plan_cache.misses
+                   in
+                   ( name,
+                     Json.Obj
+                       [
+                         ("hits", Json.Int s.Nab_util.Plan_cache.hits);
+                         ("misses", Json.Int s.Nab_util.Plan_cache.misses);
+                         ( "hit_rate",
+                           Json.float
+                             (if total = 0 then 0.0
+                              else
+                                float_of_int s.Nab_util.Plan_cache.hits
+                                /. float_of_int total) );
+                         ("entries", Json.Int s.Nab_util.Plan_cache.entries);
+                         ("evictions", Json.Int s.Nab_util.Plan_cache.evictions);
+                       ] ))
+                 cache_stats_rows)
+          in
+          let oc = open_out path in
+          output_string oc (Json.to_string json);
+          output_char oc '\n';
+          close_out oc
     in
-    Printf.eprintf "campaign: %d scenarios, %d violations/errors\n%!" (List.length rows)
-      (List.length bad);
-    if bad = [] && base_ok then 0 else 1
+    let shrink_bad bad =
+      List.iter (print_failure stderr) bad;
+      match shrink_dir with
+      | Some dir ->
+          List.iter
+            (fun (row : Runner.row) ->
+              match Shrink.shrink row.Runner.scenario with
+              | None -> ()
+              | Some r ->
+                  let sub = Filename.concat dir r.Shrink.original.Scenario.id in
+                  let sub = String.map (fun c -> if c = '/' then '_' else c) sub in
+                  let files = Shrink.write_repro ~dir:sub r in
+                  Printf.eprintf "shrunk %s -> %s (key %s, %d runs): %s\n%!"
+                    r.Shrink.original.Scenario.id r.Shrink.minimized.Scenario.id r.Shrink.key
+                    r.Shrink.runs (String.concat ", " files))
+            bad
+      | None -> ()
+    in
+    match store_dir with
+    | Some dir ->
+        (* Store-backed (resumable) mode: rows land in the sharded store,
+           not a flat file; baselining a store is the analyze artifact's
+           job. *)
+        if baseline <> None then
+          failwith "--baseline cannot be combined with --store (gate on 'campaign analyze' output instead)";
+        let store = Store.open_ ~dir ~salt () in
+        Printf.eprintf "store: %s (%d rows present, salt %s)\n%!" dir
+          (Store.row_count store) salt;
+        let bad = ref [] in
+        let summary =
+          Runner.run_campaign_store ?limit ~commit_rows:commit_every ~store
+            ~on_row:(fun i row ->
+              progress "?" i row;
+              if row.Runner.outcome <> Runner.Pass then bad := row :: !bad)
+            scenarios
+        in
+        if summary.Runner.complete then Store.seal store;
+        Store.close store;
+        cache_footer ();
+        let bad = List.rev !bad in
+        shrink_bad bad;
+        Printf.eprintf
+          "campaign: %d requested, %d skipped (already stored), %d ran, %d violations/errors%s\n%!"
+          summary.Runner.requested summary.Runner.skipped summary.Runner.ran
+          summary.Runner.run_violations
+          (if summary.Runner.complete then ", store sealed"
+           else " — incomplete (--limit), rerun to resume");
+        if summary.Runner.run_violations > 0 then 1 else 0
+    | None ->
+        let total = string_of_int (List.length scenarios) in
+        let rows =
+          Runner.run_campaign ~on_row:(fun i row -> progress total i row) scenarios
+        in
+        (if out = "-" then Runner.write_jsonl stdout rows
+         else
+           let oc = open_out out in
+           Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Runner.write_jsonl oc rows));
+        cache_footer ();
+        let bad = Runner.violations rows in
+        shrink_bad bad;
+        let base_ok =
+          match baseline with
+          | None -> true
+          | Some path -> (
+              (* Streams the baseline once (index by id) instead of
+                 materializing both sides. *)
+              match Runner.diff_stream ~baseline_path:path with
+              | Error e ->
+                  Printf.eprintf "cannot read baseline: %s\n" e;
+                  false
+              | Ok (feed, finish) ->
+                  List.iter feed rows;
+                  let d = finish () in
+                  if Runner.diff_is_empty d then begin
+                    Printf.eprintf "baseline: no differences\n";
+                    true
+                  end
+                  else begin
+                    Format.eprintf "baseline differences:@.%a" Runner.pp_diff d;
+                    false
+                  end)
+        in
+        Printf.eprintf "campaign: %d scenarios, %d violations/errors\n%!" (List.length rows)
+          (List.length bad);
+        if bad = [] && base_ok then 0 else 1
   in
   let term =
     with_jobs
       Term.(
         const run $ quick_arg $ soak_arg $ seed_arg $ scenarios_arg $ backend_term
-        $ out_arg $ baseline_arg $ shrink_arg $ cache_stats_arg)
+        $ out_arg $ baseline_arg $ shrink_arg $ cache_stats_arg $ store_arg $ salt_arg
+        $ limit_arg $ commit_every_arg $ plan_cache_cap_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a campaign, stream JSONL results, gate on oracle violations.")
@@ -362,17 +457,86 @@ let diff_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"BASELINE" ~doc:"Baseline JSONL.")
   in
   let diff current baseline =
-    match (Runner.read_jsonl current, Runner.read_jsonl baseline) with
-    | Error e, _ | _, Error e ->
+    (* Streaming on both sides: the baseline is indexed once, the current
+       rows (flat file or sharded store) pass through one at a time. *)
+    let result =
+      if Sys.file_exists current && Sys.is_directory current then
+        match Runner.diff_stream ~baseline_path:baseline with
+        | Error e -> Error e
+        | Ok (feed, finish) -> (
+            match
+              Store.fold ~dir:current ~init:() ~f:(fun () line ->
+                  match Result.bind (Nab_obs.Json.of_string line) Runner.row_of_json with
+                  | Ok row -> feed row
+                  | Error e -> raise (Store.Error (current ^ ": " ^ e)))
+            with
+            | () -> Ok (finish ())
+            | exception Store.Error e -> Error e)
+      else Runner.diff_jsonl ~baseline_path:baseline ~current_path:current
+    in
+    match result with
+    | Error e ->
         prerr_endline e;
         2
-    | Ok cur, Ok base ->
-        let d = Runner.diff_rows ~baseline:base ~current:cur in
+    | Ok d ->
         Format.printf "%a" Runner.pp_diff d;
         if Runner.diff_is_empty d then 0 else 1
   in
   let term = Term.(const diff $ current_arg $ baseline_arg) in
-  Cmd.v (Cmd.info "diff" ~doc:"Compare two result files by scenario id.") term
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare a result file or store directory against a baseline JSONL, by scenario id.")
+    term
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let path_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:"A sharded store directory (MANIFEST.json + shards) or a flat result JSONL file.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the summary JSON ('-' = stdout). Byte-reproducible at any --jobs.")
+  in
+  let md_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "md" ] ~docv:"FILE" ~doc:"Also render the summary tables as markdown to $(docv).")
+  in
+  let write_file path content =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+  in
+  let analyze path out md =
+    let source =
+      if Sys.file_exists path && Sys.is_directory path then Analyze.Store_dir path
+      else Analyze.Jsonl path
+    in
+    match Analyze.of_source source with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok t ->
+        let json = Nab_obs.Json.to_string (Analyze.to_json t) ^ "\n" in
+        if out = "-" then print_string json else write_file out json;
+        Option.iter (fun p -> write_file p (Analyze.to_markdown t)) md;
+        0
+  in
+  let term = with_jobs Term.(const analyze $ path_arg $ out_arg $ md_arg) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Aggregate a campaign (store directory or JSONL) into deterministic summary \
+          tables: outcomes and throughput per topology family, goodput vs. certified \
+          capacity, oblivious-gap quantiles, dispute histograms, fault-sensitivity \
+          slices. Streaming: memory is independent of campaign size.")
+    term
 
 (* ---- shrink ---- *)
 
@@ -483,6 +647,8 @@ let () =
      socket-backend node process, it becomes the node's event loop and
      never returns. In a normal invocation it installs the re-exec hook. *)
   Nab_net.Socket.exec_node_if_requested ();
-  let doc = "NAB scenario campaigns: run, diff, shrink, replay" in
+  let doc = "NAB scenario campaigns: run, analyze, diff, shrink, replay" in
   let info = Cmd.info "campaign" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; list_cmd; diff_cmd; shrink_cmd; replay_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; list_cmd; analyze_cmd; diff_cmd; shrink_cmd; replay_cmd ]))

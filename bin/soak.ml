@@ -1,25 +1,27 @@
 (* Soak harness: a randomized campaign over networks x adversaries x fault
-   budgets, asserting the protocol invariants on every run and printing a
-   pass/fail matrix. Unlike the unit tests (fixed seeds, small counts), this
-   is meant to be run for as long as you like:
+   budgets at scale, asserting the protocol invariants on every run. Unlike
+   the unit tests (fixed seeds, small counts), this is meant to run for as
+   long as you like — 10^5+ trials overnight:
 
-     dune exec bin/soak.exe -- [trials] [base-seed]
+     dune exec bin/soak.exe -- [TRIALS] [SEED] --store soak-store
 
-   exits non-zero on the first invariant violation.
+   Rows land in a sharded, crash-safe Nab_exp.Store: kill the process at
+   any point and the same command resumes from the last commit; an
+   unchanged rerun skips every stored scenario. When the campaign
+   completes, the store is sealed (canonical byte-identical form) and
+   analyzed — ANALYZE.json / ANALYZE.md inside the store directory carry
+   the aggregate tables (outcomes and throughput per topology family,
+   goodput vs. certified capacity, oblivious-gap quantiles, dispute
+   histograms, per-adversary slices).
 
-   This is a thin wrapper over the Nab_exp campaign subsystem: the sampled
-   configuration space lives in Nab_exp.Scenario.sample, the invariants in
-   Nab_exp.Checker, and every failure is dumped as a replayable scenario
-   bundle with its exact repro commands. For richer campaigns (baselines,
-   diffing, shrinking) use bin/campaign.exe. *)
+   Exits non-zero if any scenario run by THIS invocation violated an
+   invariant; every failure is dumped as a replayable scenario bundle with
+   its exact repro commands. For richer campaigns (baselines, diffing,
+   shrinking) use bin/campaign.exe. *)
 
+open Cmdliner
 open Nab_exp
 module Json = Nab_obs.Json
-
-type outcome = { runs : int; dc_total : int; disputes_total : int }
-
-let stat_int (row : Runner.row) key =
-  match List.assoc_opt key row.Runner.stats with Some (Json.Int i) -> i | _ -> 0
 
 let dump_failure idx (row : Runner.row) =
   let s = row.Runner.scenario in
@@ -38,58 +40,144 @@ let dump_failure idx (row : Runner.row) =
   | None -> ());
   Printf.printf "  shrink:   dune exec bin/campaign.exe -- shrink %s\n%!" scenario_file
 
-let () =
-  let trials =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60
-  in
-  let base_seed =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
-  in
-  Printf.printf "soak: %d trials (base seed %d)\n%!" trials base_seed;
-  let scenarios = Campaigns.soak ~trials ~seed:base_seed in
+let print_adversary_matrix analysis =
+  match Json.member "adversaries" analysis with
+  | Some (Json.Obj advs) ->
+      Printf.printf "\n%-20s %8s %6s %6s\n" "adversary" "rows" "viol" "err";
+      print_endline (String.make 44 '-');
+      List.iter
+        (fun (name, j) ->
+          let geti k = match Option.bind (Json.member k j) Json.get_int with Some v -> v | None -> 0 in
+          Printf.printf "%-20s %8d %6d %6d\n" name (geti "rows") (geti "violations")
+            (geti "errors"))
+        advs
+  | _ -> ()
+
+let run trials seed store_dir salt limit commit_every plan_cache_cap =
+  if plan_cache_cap > 0 then Nab_util.Plan_cache.set_cap_all (Some plan_cache_cap);
+  Printf.printf "soak: %d trials (seed %d, %d jobs, store %s)\n%!" trials seed
+    (Nab_util.Pool.jobs ()) store_dir;
+  let scenarios = Campaigns.soak ~trials ~seed in
+  let store = Store.open_ ~dir:store_dir ~salt () in
+  Printf.printf "store: %d rows already present (salt %s)\n%!" (Store.row_count store) salt;
   let failures = ref 0 in
-  let tally : (string, outcome) Hashtbl.t = Hashtbl.create 16 in
-  let rows =
-    Runner.run_campaign
+  let summary =
+    Runner.run_campaign_store ?limit ~commit_rows:commit_every ~store
       ~on_row:(fun i row ->
-        let s = row.Runner.scenario in
-        match row.Runner.outcome with
+        (match row.Runner.outcome with
         | Runner.Pass ->
-            let name = s.Scenario.adversary.Scenario.adv in
-            let o =
-              try Hashtbl.find tally name
-              with Not_found -> { runs = 0; dc_total = 0; disputes_total = 0 }
-            in
-            Hashtbl.replace tally name
-              {
-                runs = o.runs + 1;
-                dc_total = o.dc_total + stat_int row "dc_count";
-                disputes_total = o.disputes_total + stat_int row "disputes";
-              }
+            if (i + 1) mod 200 = 0 then Printf.printf "[%d ran] %s\n%!" (i + 1) row.Runner.scenario.Scenario.id
         | Runner.Violation ->
             incr failures;
-            Printf.printf "FAIL trial %d: %s\n" (i + 1) s.Scenario.id;
+            Printf.printf "FAIL %s\n" row.Runner.scenario.Scenario.id;
             List.iter
               (fun (c : Checker.outcome) ->
                 if not c.Checker.ok then
                   Printf.printf "  [%s] %s\n" c.Checker.name c.Checker.detail)
               row.Runner.checks;
-            dump_failure (i + 1) row
+            dump_failure !failures row
         | Runner.Error e ->
             incr failures;
-            Printf.printf "ERROR trial %d: %s: %s\n" (i + 1) s.Scenario.id e;
-            dump_failure (i + 1) row)
+            Printf.printf "ERROR %s: %s\n" row.Runner.scenario.Scenario.id e;
+            dump_failure !failures row))
       scenarios
   in
-  ignore rows;
-  Printf.printf "\n%-20s %6s %6s %9s\n" "adversary" "runs" "DCs" "disputes";
-  print_endline (String.make 44 '-');
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
-  |> List.sort compare
-  |> List.iter (fun (name, o) ->
-         Printf.printf "%-20s %6d %6d %9d\n" name o.runs o.dc_total o.disputes_total);
-  if !failures = 0 then Printf.printf "\nall %d trials upheld every invariant\n" trials
+  Printf.printf "soak: %d requested, %d skipped (already stored), %d ran, %d violations\n%!"
+    summary.Runner.requested summary.Runner.skipped summary.Runner.ran
+    summary.Runner.run_violations;
+  let rc =
+    if summary.Runner.complete then begin
+      Store.seal store;
+      Store.close store;
+      (* Streaming analyze over the sealed shards: peak memory is
+         independent of the row count, so this scales to the overnight
+         tier. *)
+      match Analyze.of_source (Analyze.Store_dir store_dir) with
+      | Error e ->
+          Printf.printf "analyze failed: %s\n" e;
+          1
+      | Ok t ->
+          let write name content =
+            let path = Filename.concat store_dir name in
+            let oc = open_out path in
+            output_string oc content;
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+          in
+          let aj = Analyze.to_json t in
+          write "ANALYZE.json" (Json.to_string aj ^ "\n");
+          write "ANALYZE.md" (Analyze.to_markdown t);
+          print_adversary_matrix aj;
+          0
+    end
+    else begin
+      Store.close store;
+      Printf.printf "incomplete (--limit): rerun the same command to resume\n";
+      0
+    end
+  in
+  if !failures = 0 then begin
+    Printf.printf "\nall %d trials run by this invocation upheld every invariant\n" summary.Runner.ran;
+    rc
+  end
   else begin
     Printf.printf "\n%d FAILURES\n" !failures;
-    exit 1
+    1
   end
+
+let trials_arg =
+  Arg.(value & pos 0 int 60 & info [] ~docv:"TRIALS" ~doc:"Sampled scenarios (default 60).")
+
+let seed_arg = Arg.(value & pos 1 int 1 & info [] ~docv:"SEED" ~doc:"Sampler seed (default 1).")
+
+let store_arg =
+  Arg.(
+    value & opt string "soak-store"
+    & info [ "store" ] ~docv:"DIR" ~doc:"Sharded result store directory (resumable).")
+
+let salt_arg =
+  Arg.(
+    value & opt string "v1"
+    & info [ "salt" ] ~docv:"SALT"
+        ~doc:"Code-version salt; a store with a different salt restarts empty.")
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N"
+        ~doc:"Run at most $(docv) not-yet-stored scenarios this invocation, then stop.")
+
+let commit_every_arg =
+  Arg.(
+    value
+    & opt int Runner.default_commit_rows
+    & info [ "commit-every" ] ~docv:"ROWS" ~doc:"Commit (fsync + manifest) every $(docv) rows.")
+
+let plan_cache_cap_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "plan-cache-cap" ] ~docv:"N"
+        ~doc:
+          "LRU bound per plan/witness cache so planning memory stays flat over an \
+           open-ended sampled space (0 = unbounded).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:"Worker domains. The stored rows are byte-identical at any job count.")
+
+let () =
+  let term =
+    Term.(
+      const (fun jobs trials seed store salt limit commit_every cap ->
+          if jobs > 0 then Nab_util.Pool.set_jobs jobs;
+          run trials seed store salt limit commit_every cap)
+      $ jobs_arg $ trials_arg $ seed_arg $ store_arg $ salt_arg $ limit_arg
+      $ commit_every_arg $ plan_cache_cap_arg)
+  in
+  let info =
+    Cmd.info "soak" ~doc:"Resumable large-scale invariant soak over sampled scenarios."
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,432 @@
+module Json = Nab_obs.Json
+
+type source = Store_dir of string | Jsonl of string
+
+(* ---- fixed geometric histograms ----
+
+   Positive samples land in bucket floor(8 * log2 x); quantiles walk the
+   bucket counts and report the bucket's representative value 2^(i/8).
+   Bounded memory whatever the row count, and independent of the order in
+   which samples arrive — the property that lets shard partials merge in
+   any grouping without changing the output. Zero (or negative, which the
+   recorded metrics never produce) collapses into a floor bucket. *)
+
+let zero_bucket = min_int
+
+let bucket_of x =
+  if x <= 0.0 then zero_bucket
+  else int_of_float (Float.floor (8.0 *. Float.log2 x))
+
+let bucket_value i = if i = zero_bucket then 0.0 else Float.pow 2.0 (float_of_int i /. 8.0)
+
+(* A streaming scalar distribution: count/sum/min/max plus the histogram. *)
+type scalar = {
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+  s_hist : (int, int) Hashtbl.t;
+}
+
+let scalar () =
+  { s_count = 0; s_sum = 0.0; s_min = infinity; s_max = neg_infinity; s_hist = Hashtbl.create 16 }
+
+let bump tbl k by = Hashtbl.replace tbl k (by + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let observe s x =
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum +. x;
+  if x < s.s_min then s.s_min <- x;
+  if x > s.s_max then s.s_max <- x;
+  bump s.s_hist (bucket_of x) 1
+
+let merge_scalar a b =
+  a.s_count <- a.s_count + b.s_count;
+  a.s_sum <- a.s_sum +. b.s_sum;
+  if b.s_min < a.s_min then a.s_min <- b.s_min;
+  if b.s_max > a.s_max then a.s_max <- b.s_max;
+  Hashtbl.iter (fun k v -> bump a.s_hist k v) b.s_hist
+
+let quantile s q =
+  (* Smallest bucket whose cumulative count reaches ceil(q * n). *)
+  let target = max 1 (int_of_float (Float.ceil (q *. float_of_int s.s_count))) in
+  let buckets =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.s_hist [])
+  in
+  let rec go cum = function
+    | [] -> s.s_max
+    | (k, v) :: tl -> if cum + v >= target then bucket_value k else go (cum + v) tl
+  in
+  go 0 buckets
+
+let scalar_to_json s : Json.t =
+  if s.s_count = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int s.s_count);
+        ("mean", Json.float (s.s_sum /. float_of_int s.s_count));
+        ("min", Json.float s.s_min);
+        ("max", Json.float s.s_max);
+        ("p10", Json.float (quantile s 0.10));
+        ("p50", Json.float (quantile s 0.50));
+        ("p90", Json.float (quantile s 0.90));
+        ("p99", Json.float (quantile s 0.99));
+      ]
+
+(* ---- per-group cells ---- *)
+
+type cell = {
+  mutable rows : int;
+  mutable viol : int;
+  mutable errs : int;
+  c_tw : scalar; (* throughput_wall *)
+}
+
+let cell () = { rows = 0; viol = 0; errs = 0; c_tw = scalar () }
+
+let merge_cell a b =
+  a.rows <- a.rows + b.rows;
+  a.viol <- a.viol + b.viol;
+  a.errs <- a.errs + b.errs;
+  merge_scalar a.c_tw b.c_tw
+
+type fam = {
+  f_cell : cell;
+  f_tp : scalar; (* throughput_pipelined *)
+  f_cap_ratio : scalar; (* Theorem 3 throughput_lb / capacity_ub *)
+  f_goodput_ratio : scalar; (* measured throughput_wall / capacity_ub *)
+}
+
+let fam () =
+  { f_cell = cell (); f_tp = scalar (); f_cap_ratio = scalar (); f_goodput_ratio = scalar () }
+
+let merge_fam a b =
+  merge_cell a.f_cell b.f_cell;
+  merge_scalar a.f_tp b.f_tp;
+  merge_scalar a.f_cap_ratio b.f_cap_ratio;
+  merge_scalar a.f_goodput_ratio b.f_goodput_ratio
+
+type t = {
+  mutable total : int;
+  mutable pass : int;
+  mutable violations : int;
+  mutable errors : int;
+  families : (string, fam) Hashtbl.t;
+  adversaries : (string, cell) Hashtbl.t;
+  backends : (string, cell) Hashtbl.t;
+  gap : scalar; (* oblivious-gap: nab_lb / oblivious *)
+  dispute_hist : (int, int) Hashtbl.t;
+  dc_hist : (int, int) Hashtbl.t;
+}
+
+let empty () =
+  {
+    total = 0;
+    pass = 0;
+    violations = 0;
+    errors = 0;
+    families = Hashtbl.create 16;
+    adversaries = Hashtbl.create 16;
+    backends = Hashtbl.create 4;
+    gap = scalar ();
+    dispute_hist = Hashtbl.create 16;
+    dc_hist = Hashtbl.create 16;
+  }
+
+let group tbl mk key =
+  match Hashtbl.find_opt tbl key with
+  | Some g -> g
+  | None ->
+      let g = mk () in
+      Hashtbl.replace tbl key g;
+      g
+
+(* ---- row classification ---- *)
+
+let family_of (s : Scenario.t) =
+  match s.Scenario.topo with
+  | Scenario.Complete _ -> "complete"
+  | Scenario.Ring _ -> "ring"
+  | Scenario.Chords _ -> "chords"
+  | Scenario.Random_feasible _ -> "random"
+  | Scenario.Dumbbell _ -> "dumbbell"
+  | Scenario.Star_mesh _ -> "star"
+  | Scenario.Twin_cliques _ -> "twin"
+  | Scenario.Hypercube _ -> "cube"
+  | Scenario.Torus _ -> "torus"
+  | Scenario.Fig1 -> "fig1"
+  | Scenario.Fig2 -> "fig2"
+  | Scenario.Explicit _ -> "explicit"
+
+(* Seeded chaos collapses to one slice: "chaos:4711" vs "chaos:42" is noise
+   at aggregation scale. *)
+let adversary_of (s : Scenario.t) =
+  let a = s.Scenario.adversary.Scenario.adv in
+  match String.index_opt a ':' with Some i -> String.sub a 0 i | None -> a
+
+let backend_of (s : Scenario.t) =
+  match s.Scenario.backend with
+  | Scenario.Sync -> "sync"
+  | Scenario.Async spec -> "async:" ^ Nab_net.Async_sim.spec_label spec
+  | Scenario.Socket -> "socket"
+
+let check_data (row : Runner.row) name key =
+  match List.find_opt (fun (c : Checker.outcome) -> c.Checker.name = name) row.Runner.checks with
+  | None -> None
+  | Some c -> Option.bind (List.assoc_opt key c.Checker.data) Json.get_float
+
+let stat_float (row : Runner.row) key =
+  Option.bind (List.assoc_opt key row.Runner.stats) Json.get_float
+
+let stat_int (row : Runner.row) key =
+  Option.bind (List.assoc_opt key row.Runner.stats) Json.get_int
+
+let add_row t (row : Runner.row) =
+  let s = row.Runner.scenario in
+  t.total <- t.total + 1;
+  let viol, err =
+    match row.Runner.outcome with
+    | Runner.Pass ->
+        t.pass <- t.pass + 1;
+        (0, 0)
+    | Runner.Violation ->
+        t.violations <- t.violations + 1;
+        (1, 0)
+    | Runner.Error _ ->
+        t.errors <- t.errors + 1;
+        (0, 1)
+  in
+  let tw = stat_float row "throughput_wall" in
+  let touch_cell c =
+    c.rows <- c.rows + 1;
+    c.viol <- c.viol + viol;
+    c.errs <- c.errs + err;
+    Option.iter (observe c.c_tw) tw
+  in
+  let fm = group t.families fam (family_of s) in
+  touch_cell fm.f_cell;
+  Option.iter (observe fm.f_tp) (stat_float row "throughput_pipelined");
+  touch_cell (group t.adversaries cell (adversary_of s));
+  touch_cell (group t.backends cell (backend_of s));
+  (match check_data row "theorem3-ratio" "ratio" with
+  | Some r -> observe fm.f_cap_ratio r
+  | None -> ());
+  (match (tw, check_data row "theorem3-ratio" "capacity_ub") with
+  | Some tw, Some ub when ub > 0.0 -> observe fm.f_goodput_ratio (tw /. ub)
+  | _ -> ());
+  (match check_data row "oblivious-gap" "gap" with
+  | Some g -> observe t.gap g
+  | None -> ());
+  Option.iter (fun d -> bump t.dispute_hist d 1) (stat_int row "disputes");
+  Option.iter (fun d -> bump t.dc_hist d 1) (stat_int row "dc_count")
+
+let merge a b =
+  a.total <- a.total + b.total;
+  a.pass <- a.pass + b.pass;
+  a.violations <- a.violations + b.violations;
+  a.errors <- a.errors + b.errors;
+  Hashtbl.iter (fun k v -> merge_fam (group a.families fam k) v) b.families;
+  Hashtbl.iter (fun k v -> merge_cell (group a.adversaries cell k) v) b.adversaries;
+  Hashtbl.iter (fun k v -> merge_cell (group a.backends cell k) v) b.backends;
+  merge_scalar a.gap b.gap;
+  Hashtbl.iter (fun k v -> bump a.dispute_hist k v) b.dispute_hist;
+  Hashtbl.iter (fun k v -> bump a.dc_hist k v) b.dc_hist
+
+(* ---- folding sources ---- *)
+
+exception Bad_row of string
+
+let row_of_line ~where line =
+  match Result.bind (Json.of_string line) Runner.row_of_json with
+  | Ok row -> row
+  | Error e -> raise (Bad_row (Printf.sprintf "%s: %s" where e))
+
+let of_source ?jobs source =
+  match source with
+  | Jsonl path ->
+      let t = empty () in
+      Result.map
+        (fun () -> t)
+        (Runner.fold_jsonl path ~init:() ~f:(fun () row -> add_row t row))
+  | Store_dir dir -> (
+      match
+        let m = Store.read_manifest dir in
+        (* One worker per shard; Pool.map returns partials in shard order,
+           and the sequential merge below preserves it — float sums never
+           depend on the job count. *)
+        let partials =
+          Nab_util.Pool.map ?jobs
+            (fun i ->
+              let t = empty () in
+              Store.fold_shard ~dir m i ~init:() ~f:(fun () line ->
+                  add_row t (row_of_line ~where:(Store.shard_name i) line));
+              t)
+            (List.init m.Store.m_shards Fun.id)
+        in
+        let t = empty () in
+        List.iter (merge t) partials;
+        t
+      with
+      | t -> Ok t
+      | exception Bad_row e -> Error e
+      | exception Store.Error e -> Error e)
+
+(* ---- emission ----
+
+   Group tables are sorted by key; histogram keys numerically. Everything
+   below is a pure function of the aggregate, so the artifact bytes depend
+   only on the row set (plus float accumulation order, fixed above). *)
+
+let sorted_groups tbl =
+  List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let hist_to_json h : Json.t =
+  Json.Obj
+    (List.sort
+       (fun (a, _) (b, _) -> compare (int_of_string a) (int_of_string b))
+       (Hashtbl.fold (fun k v acc -> (string_of_int k, Json.Int v) :: acc) h []))
+
+let cell_fields c =
+  [
+    ("rows", Json.Int c.rows);
+    ("violations", Json.Int c.viol);
+    ("errors", Json.Int c.errs);
+    ("throughput_wall", scalar_to_json c.c_tw);
+  ]
+
+let to_json t : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "nab-campaign-analyze/1");
+      ("rows", Json.Int t.total);
+      ( "outcomes",
+        Json.Obj
+          [
+            ("pass", Json.Int t.pass);
+            ("violation", Json.Int t.violations);
+            ("error", Json.Int t.errors);
+          ] );
+      ( "families",
+        Json.Obj
+          (List.map
+             (fun (k, f) ->
+               ( k,
+                 Json.Obj
+                   (cell_fields f.f_cell
+                   @ [
+                       ("throughput_pipelined", scalar_to_json f.f_tp);
+                       ("capacity_ratio", scalar_to_json f.f_cap_ratio);
+                       ("goodput_capacity_ratio", scalar_to_json f.f_goodput_ratio);
+                     ]) ))
+             (sorted_groups t.families)) );
+      ("oblivious_gap", scalar_to_json t.gap);
+      ("dispute_hist", hist_to_json t.dispute_hist);
+      ("dc_hist", hist_to_json t.dc_hist);
+      ( "adversaries",
+        Json.Obj
+          (List.map (fun (k, c) -> (k, Json.Obj (cell_fields c))) (sorted_groups t.adversaries))
+      );
+      ( "backends",
+        Json.Obj
+          (List.map (fun (k, c) -> (k, Json.Obj (cell_fields c))) (sorted_groups t.backends)) );
+    ]
+
+(* ---- markdown ---- *)
+
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let scalar_cells s =
+  if s.s_count = 0 then [ "0"; "-"; "-"; "-"; "-"; "-" ]
+  else
+    [
+      string_of_int s.s_count;
+      fnum (s.s_sum /. float_of_int s.s_count);
+      fnum s.s_min;
+      fnum (quantile s 0.50);
+      fnum (quantile s 0.99);
+      fnum s.s_max;
+    ]
+
+let md_table buf header rows =
+  let line cells = Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n") in
+  line header;
+  line (List.map (fun _ -> "---") header);
+  List.iter line rows;
+  Buffer.add_char buf '\n'
+
+let to_markdown t =
+  let buf = Buffer.create 4096 in
+  let section s = Buffer.add_string buf ("## " ^ s ^ "\n\n") in
+  Buffer.add_string buf "# Campaign analyze\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%d rows: %d pass, %d violation, %d error.\n\n" t.total t.pass t.violations
+       t.errors);
+  section "Topology families";
+  md_table buf
+    [ "family"; "rows"; "viol"; "err"; "tw mean"; "tw p50"; "tw p99" ]
+    (List.map
+       (fun (k, f) ->
+         let c = f.f_cell in
+         let tw = c.c_tw in
+         let mean = if tw.s_count = 0 then "-" else fnum (tw.s_sum /. float_of_int tw.s_count) in
+         [
+           k;
+           string_of_int c.rows;
+           string_of_int c.viol;
+           string_of_int c.errs;
+           mean;
+           (if tw.s_count = 0 then "-" else fnum (quantile tw 0.50));
+           (if tw.s_count = 0 then "-" else fnum (quantile tw 0.99));
+         ])
+       (sorted_groups t.families));
+  section "Goodput vs. certified capacity (per family)";
+  md_table buf
+    [ "family"; "count"; "mean"; "min"; "p50"; "p99"; "max" ]
+    (List.concat_map
+       (fun (k, f) ->
+         if f.f_goodput_ratio.s_count = 0 then []
+         else [ k :: scalar_cells f.f_goodput_ratio ])
+       (sorted_groups t.families));
+  section "Theorem-3 capacity ratio (per family)";
+  md_table buf
+    [ "family"; "count"; "mean"; "min"; "p50"; "p99"; "max" ]
+    (List.concat_map
+       (fun (k, f) ->
+         if f.f_cap_ratio.s_count = 0 then [] else [ k :: scalar_cells f.f_cap_ratio ])
+       (sorted_groups t.families));
+  section "Oblivious gap (nab_lb / oblivious)";
+  md_table buf
+    [ "count"; "mean"; "min"; "p50"; "p99"; "max" ]
+    [ scalar_cells t.gap ];
+  section "Dispute counts";
+  md_table buf [ "disputes"; "rows" ]
+    (List.map
+       (fun (k, v) -> (match v with Json.Int v -> [ k; string_of_int v ] | _ -> [ k; "?" ]))
+       (match hist_to_json t.dispute_hist with Json.Obj kvs -> kvs | _ -> []));
+  section "Dispute control firings";
+  md_table buf [ "dc_count"; "rows" ]
+    (List.map
+       (fun (k, v) -> (match v with Json.Int v -> [ k; string_of_int v ] | _ -> [ k; "?" ]))
+       (match hist_to_json t.dc_hist with Json.Obj kvs -> kvs | _ -> []));
+  section "Adversaries";
+  md_table buf [ "adversary"; "rows"; "viol"; "err" ]
+    (List.map
+       (fun (k, c) -> [ k; string_of_int c.rows; string_of_int c.viol; string_of_int c.errs ])
+       (sorted_groups t.adversaries));
+  section "Backends (fault sensitivity)";
+  md_table buf [ "backend"; "rows"; "viol"; "err"; "tw mean" ]
+    (List.map
+       (fun (k, c) ->
+         let tw = c.c_tw in
+         [
+           k;
+           string_of_int c.rows;
+           string_of_int c.viol;
+           string_of_int c.errs;
+           (if tw.s_count = 0 then "-" else fnum (tw.s_sum /. float_of_int tw.s_count));
+         ])
+       (sorted_groups t.backends));
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Campaign aggregation — the [campaign analyze] step. Streams result
+    rows (from a sharded {!Store} or a flat JSONL file) into a fixed set of
+    summary tables:
+
+    - outcome totals, overall and per topology family;
+    - goodput vs. certified capacity: distributions of the measured
+      [throughput_wall / capacity_ub] and of Theorem 3's analytical
+      [throughput_lb / capacity_ub], per family, from the structured
+      ["theorem3-ratio"] oracle data;
+    - the oblivious-gap distribution (quantiles of [nab_lb / oblivious]
+      from the ["oblivious-gap"] oracle data);
+    - dispute-count and dispute-control histograms;
+    - fault-sensitivity slices: outcome and throughput per backend
+      ([sync] / [async:<fault-spec>] / [socket]) and per adversary.
+
+    {2 Determinism and memory}
+
+    Aggregation is streaming (one parsed row in memory per worker — peak
+    RSS is independent of campaign size) and deterministic at any [jobs]:
+    a store is folded shard by shard (Pool fan-out, one worker per shard)
+    and the per-shard partials are merged in shard order, so float
+    accumulation order — and therefore the emitted bytes — never depends
+    on the job count. Distribution quantiles come from fixed geometric
+    histograms (bucket ratio [2^(1/8)]), not from sorting samples, so they
+    too are order-independent and bounded-memory. *)
+
+type source =
+  | Store_dir of string  (** a {!Store} directory (MANIFEST.json + shards) *)
+  | Jsonl of string  (** a flat result file, e.g. CAMPAIGN_baseline.jsonl *)
+
+type t
+(** The merged aggregate. *)
+
+val of_source : ?jobs:int -> source -> (t, string) result
+(** Fold every row of the source. Unparsable rows abort with the offending
+    location — an analyze over a corrupt store must fail loudly, not skew
+    silently. *)
+
+val to_json : t -> Nab_obs.Json.t
+(** The committed artifact (schema ["nab-campaign-analyze/1"]): byte-stable
+    for a given source at any [jobs]. *)
+
+val to_markdown : t -> string
+(** The same tables rendered as markdown (a header line, then one section
+    per table). *)

@@ -8,7 +8,13 @@ type ctx = {
   inputs : int -> Bitvec.t;
 }
 
-type outcome = { name : string; ok : bool; detail : string }
+type outcome = {
+  name : string;
+  ok : bool;
+  detail : string;
+  data : (string * Nab_obs.Json.t) list;
+}
+
 type oracle = ctx -> bool * string
 
 let eps = 1e-9
@@ -79,7 +85,10 @@ let theorem1_attempts ctx =
 
 let source ctx = ctx.report.Nab.config.Nab.source
 
-let theorem3_ratio ctx =
+(* The rich variants additionally return the numbers behind the verdict as
+   structured data: analyze aggregates certified-capacity ratios and gap
+   distributions across 10^5 rows and must not parse detail strings. *)
+let theorem3_ratio_rich ctx =
   let s = Params.stars ctx.g ~source:(source ctx) ~f:ctx.report.Nab.config.Nab.f in
   let floor_ratio = if s.Params.half_capacity_condition then 0.5 else 1.0 /. 3.0 in
   let ok =
@@ -90,7 +99,20 @@ let theorem3_ratio ctx =
     Printf.sprintf "gamma*=%d rho*=%d lb=%.4f ub=%.4f ratio=%.4f floor=%s"
       s.Params.gamma_star s.Params.rho_star s.Params.throughput_lb s.Params.capacity_ub
       s.Params.ratio
-      (if s.Params.half_capacity_condition then "1/2" else "1/3") )
+      (if s.Params.half_capacity_condition then "1/2" else "1/3"),
+    Nab_obs.Json.
+      [
+        ("gamma_star", Int s.Params.gamma_star);
+        ("rho_star", Int s.Params.rho_star);
+        ("throughput_lb", Float s.Params.throughput_lb);
+        ("capacity_ub", Float s.Params.capacity_ub);
+        ("ratio", Float s.Params.ratio);
+        ("half_capacity", Bool s.Params.half_capacity_condition);
+      ] )
+
+let theorem3_ratio ctx =
+  let ok, detail, _ = theorem3_ratio_rich ctx in
+  (ok, detail)
 
 let capacity_witness ctx =
   match Capacity.verify ctx.g ~source:(source ctx) ~f:ctx.report.Nab.config.Nab.f with
@@ -101,7 +123,7 @@ let capacity_witness ctx =
    same network, fault-free. Its measured rate must respect the Theorem-2
    ceiling (it is a correct BB protocol), and when the scenario requests a
    gap, NAB's guaranteed rate must beat it by that factor. *)
-let oblivious_gap ctx =
+let oblivious_gap_rich ctx =
   let g = ctx.g in
   let f = ctx.report.Nab.config.Nab.f in
   let l = ctx.scenario.Scenario.l_bits in
@@ -131,7 +153,18 @@ let oblivious_gap ctx =
   in
   ( below_capacity && gap_ok,
     Printf.sprintf "oblivious=%.4f nab_lb=%.4f capacity_ub=%.4f%s" obl
-      s.Params.throughput_lb s.Params.capacity_ub gap_txt )
+      s.Params.throughput_lb s.Params.capacity_ub gap_txt,
+    Nab_obs.Json.
+      [
+        ("oblivious", Float obl);
+        ("nab_lb", Float s.Params.throughput_lb);
+        ("capacity_ub", Float s.Params.capacity_ub);
+        ("gap", Float (s.Params.throughput_lb /. obl));
+      ] )
+
+let oblivious_gap ctx =
+  let ok, detail, _ = oblivious_gap_rich ctx in
+  (ok, detail)
 
 (* For stream scenarios (Scenario.stream = Some w): replay the q instances
    serially on a fresh session over the same transport and require byte-
@@ -205,14 +238,43 @@ let find name =
   Mutex.unlock registry_mutex;
   match r with Some _ as o -> o | None -> List.assoc_opt name builtin
 
+(* Oracles carrying structured data for analyze. A registered oracle of the
+   same name still wins (matching [find]), falling back to the plain detail
+   string with no data. *)
+let builtin_rich =
+  [ ("theorem3-ratio", theorem3_ratio_rich); ("oblivious-gap", oblivious_gap_rich) ]
+
 let evaluate ctx ~names =
   List.map
     (fun name ->
-      match find name with
-      | None -> { name; ok = false; detail = "unknown check" }
+      let registered =
+        Mutex.lock registry_mutex;
+        let r = Hashtbl.find_opt registry name in
+        Mutex.unlock registry_mutex;
+        r
+      in
+      let rich =
+        match registered with
+        | Some oracle -> Some (fun ctx -> let ok, d = oracle ctx in (ok, d, []))
+        | None -> (
+            match List.assoc_opt name builtin_rich with
+            | Some _ as r -> r
+            | None ->
+                Option.map
+                  (fun oracle ctx -> let ok, d = oracle ctx in (ok, d, []))
+                  (List.assoc_opt name builtin))
+      in
+      match rich with
+      | None -> { name; ok = false; detail = "unknown check"; data = [] }
       | Some oracle -> (
           try
-            let ok, detail = oracle ctx in
-            { name; ok; detail }
-          with e -> { name; ok = false; detail = "oracle raised: " ^ Printexc.to_string e }))
+            let ok, detail, data = oracle ctx in
+            { name; ok; detail; data }
+          with e ->
+            {
+              name;
+              ok = false;
+              detail = "oracle raised: " ^ Printexc.to_string e;
+              data = [];
+            }))
     names

@@ -25,10 +25,19 @@ type ctx = {
   inputs : int -> Bitvec.t;  (** the closure the run used *)
 }
 
-type outcome = { name : string; ok : bool; detail : string }
-(** [detail] is deterministic (no wall-clock, no addresses): it lands in
-    the JSONL result store and must be byte-stable across runs and job
-    counts. *)
+type outcome = {
+  name : string;
+  ok : bool;
+  detail : string;
+  data : (string * Nab_obs.Json.t) list;
+      (** structured numbers behind the verdict — what [campaign analyze]
+          aggregates (certified-capacity ratios, oblivious gaps) without
+          parsing [detail]. Empty for most oracles; the theorem oracles
+          ["theorem3-ratio"] and ["oblivious-gap"] populate it. *)
+}
+(** [detail] (and [data]) are deterministic (no wall-clock, no addresses):
+    they land in the JSONL result store and must be byte-stable across runs
+    and job counts. *)
 
 type oracle = ctx -> bool * string
 (** Evaluate one check; returns (ok, detail). *)

@@ -102,26 +102,39 @@ let run_campaign ?jobs ?(on_row = fun _ _ -> ()) scenarios =
 
 let violations rows = List.filter (fun r -> r.outcome <> Pass) rows
 
+(* ---- store-backed (resumable) campaigns ---- *)
+
+type store_summary = {
+  requested : int;
+  skipped : int;
+  ran : int;
+  run_violations : int;
+  complete : bool;
+}
+
+let default_commit_rows = 256
+
 (* ---- JSONL ---- *)
 
 let outcome_string = function Pass -> "pass" | Violation -> "violation" | Error _ -> "error"
+
+(* "data" is emitted only when an oracle produced some, so rows from
+   data-free oracles keep their historical bytes. *)
+let check_to_json (c : Checker.outcome) =
+  Json.Obj
+    ([
+       ("name", Json.Str c.Checker.name);
+       ("ok", Json.Bool c.Checker.ok);
+       ("detail", Json.Str c.Checker.detail);
+     ]
+    @ match c.Checker.data with [] -> [] | d -> [ ("data", Json.Obj d) ])
 
 let row_to_json r : Json.t =
   Json.Obj
     ([ ("id", Json.Str r.scenario.Scenario.id); ("outcome", Json.Str (outcome_string r.outcome)) ]
     @ (match r.outcome with Error e -> [ ("error", Json.Str e) ] | _ -> [])
     @ [
-        ( "checks",
-          Json.List
-            (List.map
-               (fun (c : Checker.outcome) ->
-                 Json.Obj
-                   [
-                     ("name", Json.Str c.Checker.name);
-                     ("ok", Json.Bool c.Checker.ok);
-                     ("detail", Json.Str c.Checker.detail);
-                   ])
-               r.checks) );
+        ("checks", Json.List (List.map check_to_json r.checks));
         ("stats", Json.Obj r.stats);
         ("scenario", Scenario.to_json r.scenario);
       ])
@@ -170,7 +183,13 @@ let row_of_json j =
               | None -> Result.Error "check \"ok\" is not a bool")
           | None -> Result.Error "check missing \"ok\""
         in
-        Ok ({ Checker.name; ok; detail } :: acc))
+        let* data =
+          match Json.member "data" c with
+          | None -> Ok []
+          | Some (Json.Obj fields) -> Ok fields
+          | Some _ -> Result.Error "check \"data\" is not an object"
+        in
+        Ok ({ Checker.name; ok; detail; data } :: acc))
       checks_j (Ok [])
   in
   let* stats =
@@ -200,7 +219,9 @@ let write_jsonl oc rows =
     rows;
   flush oc
 
-let read_jsonl path =
+(* Streaming: one parsed row in memory at a time, so baseline checks and
+   [campaign analyze] work on flat files of any size. *)
+let fold_jsonl path ~init ~f =
   match open_in path with
   | exception Sys_error e -> Result.Error e
   | ic ->
@@ -209,17 +230,82 @@ let read_jsonl path =
         (fun () ->
           let rec go lineno acc =
             match input_line ic with
-            | exception End_of_file -> Ok (List.rev acc)
+            | exception End_of_file -> Ok acc
             | "" -> go (lineno + 1) acc
             | line -> (
                 match
                   let* j = Json.of_string line in
                   row_of_json j
                 with
-                | Ok row -> go (lineno + 1) (row :: acc)
+                | Ok row -> go (lineno + 1) (f acc row)
                 | Result.Error e -> Result.Error (Printf.sprintf "%s:%d: %s" path lineno e))
           in
-          go 1 [])
+          go 1 init)
+
+let read_jsonl path =
+  Result.map List.rev (fold_jsonl path ~init:[] ~f:(fun acc row -> row :: acc))
+
+(* ---- store-backed execution ---- *)
+
+let run_campaign_store ?jobs ?limit ?(commit_rows = default_commit_rows)
+    ?(on_row = fun _ _ -> ()) ~store scenarios =
+  let commit_rows = max 1 commit_rows in
+  (* Dedupe by id (ids are content-derived, so equal ids mean equal
+     scenarios) — the store holds one row per id. *)
+  let seen = Hashtbl.create 256 in
+  let distinct =
+    List.filter
+      (fun s ->
+        let id = s.Scenario.id in
+        if Hashtbl.mem seen id then false
+        else begin
+          Hashtbl.replace seen id ();
+          true
+        end)
+      scenarios
+  in
+  let requested = List.length distinct in
+  (* The resume check: anything already in the store is skipped. *)
+  let todo = List.filter (fun s -> not (Store.mem store s.Scenario.id)) distinct in
+  let skipped = requested - List.length todo in
+  let todo, truncated =
+    match limit with
+    | None -> (todo, false)
+    | Some l ->
+        let keep, rest = take_drop (max 0 l) todo in
+        (keep, rest <> [])
+  in
+  let ran = ref 0 and run_violations = ref 0 and uncommitted = ref 0 in
+  let rec go i rest =
+    match rest with
+    | [] -> ()
+    | _ ->
+        let batch, rest = take_drop chunk_size rest in
+        let rows = Nab_util.Pool.map ?jobs run_scenario batch in
+        List.iteri
+          (fun j row ->
+            Store.add store ~id:row.scenario.Scenario.id
+              ~line:(Json.to_string (row_to_json row));
+            incr ran;
+            if row.outcome <> Pass then incr run_violations;
+            incr uncommitted;
+            if !uncommitted >= commit_rows then begin
+              Store.commit store;
+              uncommitted := 0
+            end;
+            on_row (i + j) row)
+          rows;
+        go (i + List.length rows) rest
+  in
+  go 0 todo;
+  Store.commit store;
+  {
+    requested;
+    skipped;
+    ran = !ran;
+    run_violations = !run_violations;
+    complete = not truncated;
+  }
 
 (* ---- diff ---- *)
 
@@ -228,6 +314,29 @@ type diff = {
   added : string list;
   changed : (string * string) list;
 }
+
+let row_change ~base ~cur =
+  let part name f =
+    if f base = f cur then None
+    else
+      Some
+        (Printf.sprintf "%s: %s -> %s" name
+           (Json.to_string (f base))
+           (Json.to_string (f cur)))
+  in
+  let reasons =
+    List.filter_map Fun.id
+      [
+        part "outcome" (fun r ->
+            Json.Str
+              (outcome_string r.outcome
+              ^ match r.outcome with Error e -> ": " ^ e | _ -> ""));
+        part "checks" (fun r -> Json.List (List.map check_to_json r.checks));
+        part "stats" (fun r -> Json.Obj r.stats);
+        part "scenario" (fun r -> Scenario.to_json r.scenario);
+      ]
+  in
+  if reasons = [] then None else Some (String.concat "; " reasons)
 
 let diff_rows ~baseline ~current =
   let index rows =
@@ -257,36 +366,49 @@ let diff_rows ~baseline ~current =
         match Hashtbl.find_opt base_tbl id with
         | None -> None
         | Some base ->
-            let part name f =
-              if f base = f cur then None
-              else
-                Some
-                  (Printf.sprintf "%s: %s -> %s" name
-                     (Json.to_string (f base))
-                     (Json.to_string (f cur)))
-            in
-            let reasons =
-              List.filter_map Fun.id
-                [
-                  part "outcome" (fun r ->
-                      Json.Str
-                        (outcome_string r.outcome
-                        ^ match r.outcome with Error e -> ": " ^ e | _ -> ""));
-                  part "checks" (fun r -> Json.List (List.map (fun (c : Checker.outcome) ->
-                      Json.Obj
-                        [
-                          ("name", Json.Str c.Checker.name);
-                          ("ok", Json.Bool c.Checker.ok);
-                          ("detail", Json.Str c.Checker.detail);
-                        ]) r.checks));
-                  part "stats" (fun r -> Json.Obj r.stats);
-                  part "scenario" (fun r -> Scenario.to_json r.scenario);
-                ]
-            in
-            if reasons = [] then None else Some (id, String.concat "; " reasons))
+            Option.map (fun why -> (id, why)) (row_change ~base ~cur))
       current
   in
   { missing; added; changed }
+
+(* Streaming variant against an on-disk baseline: one pass over the
+   baseline builds an id index (the baseline side stays resident — it is
+   the small committed artifact), then the current rows stream through
+   [row] one at a time. [diff_stream] returns the finisher so callers can
+   feed rows from any source (a list, fold_jsonl, a store fold). *)
+let diff_stream ~baseline_path =
+  let* indexed =
+    fold_jsonl baseline_path ~init:[] ~f:(fun acc r ->
+        (r.scenario.Scenario.id, r) :: acc)
+  in
+  let base_order = List.rev_map fst indexed in
+  let base_tbl = Hashtbl.create (List.length indexed) in
+  List.iter (fun (id, r) -> Hashtbl.replace base_tbl id r) indexed;
+  let matched = Hashtbl.create 64 in
+  let added = ref [] and changed = ref [] in
+  let row cur =
+    let id = cur.scenario.Scenario.id in
+    match Hashtbl.find_opt base_tbl id with
+    | None -> added := id :: !added
+    | Some base ->
+        Hashtbl.replace matched id ();
+        Option.iter
+          (fun why -> changed := (id, why) :: !changed)
+          (row_change ~base ~cur)
+  in
+  let finish () =
+    {
+      missing = List.filter (fun id -> not (Hashtbl.mem matched id)) base_order;
+      added = List.rev !added;
+      changed = List.rev !changed;
+    }
+  in
+  Ok (row, finish)
+
+let diff_jsonl ~baseline_path ~current_path =
+  let* row, finish = diff_stream ~baseline_path in
+  let* () = fold_jsonl current_path ~init:() ~f:(fun () r -> row r) in
+  Ok (finish ())
 
 let diff_is_empty d = d.missing = [] && d.added = [] && d.changed = []
 

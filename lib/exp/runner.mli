@@ -19,7 +19,9 @@
     {"id":STR,
      "outcome":"pass"|"violation"|"error",
      "error":STR,                    // only when outcome = "error"
-     "checks":[{"name":STR,"ok":BOOL,"detail":STR}..],
+     "checks":[{"name":STR,"ok":BOOL,"detail":STR,"data":{..}?}..],
+                                     // "data" only when the oracle
+                                     // produced structured numbers
      "stats":{"n":INT,"edges":INT,"faulty":[INT..],"dc_count":INT,
               "disputes":INT,"mismatches":INT,"coding_attempts":INT,
               "throughput_wall":NUM,"throughput_pipelined":NUM},
@@ -52,6 +54,45 @@ val run_campaign :
 val violations : row list -> row list
 (** Rows whose outcome is not [Pass]. *)
 
+(** {1 Store-backed (resumable) campaigns} *)
+
+type store_summary = {
+  requested : int;  (** distinct scenario ids asked for *)
+  skipped : int;  (** already present in the store (the resume/incremental win) *)
+  ran : int;  (** actually executed this call *)
+  run_violations : int;  (** non-[Pass] outcomes among the rows run this call *)
+  complete : bool;  (** every requested scenario is now in the store
+                        (false when [limit] truncated the run) *)
+}
+
+val default_commit_rows : int
+
+val run_campaign_store :
+  ?jobs:int ->
+  ?limit:int ->
+  ?commit_rows:int ->
+  ?on_row:(int -> row -> unit) ->
+  store:Store.t ->
+  Scenario.t list ->
+  store_summary
+(** Run a campaign into a {!Store}: scenarios are deduplicated by id, those
+    already present in the store are skipped without running (so a killed
+    campaign resumes where its last commit left off, and an unchanged rerun
+    is near-free), and the remainder executes in the same fixed chunks of 8
+    as {!run_campaign} — dispatch order, and hence the committed store, is
+    independent of [jobs]. Rows are committed every [commit_rows]
+    (default {!default_commit_rows}) to bound both the replay window lost
+    to a crash and the fsync overhead at soak scale. [limit] caps how many
+    scenarios run this call (chunked soak dispatch / kill simulation);
+    [on_row i row] fires in dispatch order with [i] counting executed rows
+    from 0. Pending rows are committed before returning; the caller decides
+    when to {!Store.seal}. *)
+
+val fold_jsonl :
+  string -> init:'a -> f:('a -> row -> 'a) -> ('a, string) result
+(** Stream a result file row by row — constant memory in the file length.
+    The error carries the 1-based line number. *)
+
 (** {1 JSONL store} *)
 
 val row_to_json : row -> Nab_obs.Json.t
@@ -61,7 +102,9 @@ val write_jsonl : out_channel -> row list -> unit
 (** One row per line, in order. *)
 
 val read_jsonl : string -> (row list, string) result
-(** Parse a result file; the error carries the 1-based line number. *)
+(** [fold_jsonl] collecting every row — only for small files; streaming
+    callers should fold instead. The error carries the 1-based line
+    number. *)
 
 (** {1 Baseline diff} *)
 
@@ -78,3 +121,17 @@ val diff_rows : baseline:row list -> current:row list -> diff
 
 val diff_is_empty : diff -> bool
 val pp_diff : Format.formatter -> diff -> unit
+
+val diff_stream :
+  baseline_path:string -> ((row -> unit) * (unit -> diff), string) result
+(** Streaming diff against an on-disk baseline: reads the baseline once to
+    index it by id, then returns [(feed, finish)] — call [feed] with each
+    current row (from {!fold_jsonl}, a {!Store.fold}, or a live run) and
+    [finish ()] for the {!diff}. Orderings match {!diff_rows}: [missing]
+    in baseline order, [added]/[changed] in feed order. *)
+
+val diff_jsonl :
+  baseline_path:string -> current_path:string -> (diff, string) result
+(** {!diff_stream} fed from a current-result file — the streaming
+    replacement for [read_jsonl]-both-sides in [campaign diff] and the CI
+    baseline gates. *)

@@ -189,4 +189,7 @@ val sample : trials:int -> seed:int -> t list
     deterministically from [seed] over the same configuration space the old
     [bin/soak.ml] hand-rolled — f in {1, 2}, n in [3f+1, 3f+3], complete or
     BB-feasible random topologies, the adversary zoo plus seeded chaos,
-    L in {64..256}, q in {2..5}. Checks: {!Checker.invariant_checks}. *)
+    L in {64..256}, q in {2..5}. Checks: {!invariant_checks}, plus — on
+    f = 1 scenarios, where n <= 6 keeps the Appendix-E enumeration cheap —
+    ["theorem3-ratio"] and ["oblivious-gap"], whose structured data feeds
+    the capacity-ratio and gap tables of [campaign analyze]. *)

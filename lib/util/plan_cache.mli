@@ -15,14 +15,25 @@
     guarantee, not a fast path.
 
     Values are immutable plan data shared freely across domains. Do not
-    cache anything mutable. *)
+    cache anything mutable.
+
+    A cache is unbounded by default. For campaigns whose working set is
+    open-ended (a 10^5-scenario soak over mostly-distinct sampled
+    topologies) an LRU entry bound can be set per cache ({!set_cap}) or
+    globally ({!set_cap_all}, the [--plan-cache-cap] campaign flag): the
+    least-recently-used entries are dropped once the bound is exceeded, an
+    evicted key simply recomputes on its next request, and in-flight
+    computations are never evicted. Eviction changes {e when} a plan is
+    recomputed, never {e what} is returned, so bounded caches preserve the
+    byte-identical-artifact guarantee. *)
 
 type 'v t
 
-val create : name:string -> unit -> 'v t
-(** A fresh cache, registered under [name] for {!clear_all} and
-    {!global_stats}. Create caches at module initialisation (one per kind of
-    plan), not per use. *)
+val create : ?cap:int -> name:string -> unit -> 'v t
+(** A fresh cache, registered under [name] for {!clear_all},
+    {!global_stats} and {!set_cap_all}. Create caches at module
+    initialisation (one per kind of plan), not per use. [cap] bounds the
+    entry count (LRU eviction, clamped to [>= 1]); omitted = unbounded. *)
 
 val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
 (** [find_or_compute t ~key f] returns the cached value for [key], or runs
@@ -34,14 +45,26 @@ val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
 
 val find : 'v t -> key:string -> 'v option
 (** A non-blocking peek: [None] for absent {e and} still-computing keys.
-    Does not count towards {!stats}. *)
+    Does not count towards {!stats}, but a hit does refresh the entry's LRU
+    recency. *)
 
-type stats = { hits : int; misses : int; entries : int }
+val set_cap : 'v t -> int option -> unit
+(** Set or clear the LRU entry bound. [Some n] (clamped to [>= 1]) evicts
+    least-recently-used entries immediately if the cache already exceeds
+    [n]; [None] removes the bound. In-flight (still-computing) entries are
+    never evicted and do not count towards the bound. *)
+
+val set_cap_all : int option -> unit
+(** {!set_cap} on every cache created so far — the process-wide knob behind
+    [campaign run --plan-cache-cap]. *)
+
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
 val stats : 'v t -> stats
 (** [hits]/[misses] count {!find_or_compute} calls since creation (or the
     last {!clear}); a miss that waited on another domain's computation still
-    counts as a miss. [entries] is the current table size. *)
+    counts as a miss. [entries] is the current table size and [evictions]
+    the number of entries dropped by the LRU bound. *)
 
 val clear : 'v t -> unit
 (** Drop every entry and reset the counters. Safe concurrently with
